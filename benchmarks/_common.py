@@ -1,0 +1,58 @@
+"""Shared helpers for the per-figure benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import SweepConfig
+from repro.bench.sweep import sample_placements
+from repro.evaluation import ExperimentResult, mape, run_platform_experiment
+
+__all__ = [
+    "run_figure_pipeline",
+    "comm_errors_by_group",
+    "comp_errors_by_group",
+    "stash_errors",
+]
+
+
+def run_figure_pipeline(platform_name: str, seed: int = 1) -> ExperimentResult:
+    """The timed unit of every figure benchmark: the full §IV pipeline."""
+    return run_platform_experiment(platform_name, config=SweepConfig(seed=seed))
+
+
+def _errors_by_group(result: ExperimentResult, *, comm: bool):
+    samples = set(sample_placements(result.platform))
+    grouped: dict[str, list[float]] = {"samples": [], "non_samples": []}
+    for key in result.dataset.sweep:
+        curves = result.dataset.sweep[key]
+        pred = result.predictions[key]
+        if comm:
+            err = mape(curves.comm_parallel, pred.comm_parallel)
+        else:
+            err = mape(curves.comp_parallel, pred.comp_parallel)
+        grouped["samples" if key in samples else "non_samples"].append(err)
+    return {k: float(np.mean(v)) for k, v in grouped.items() if v}
+
+
+def comm_errors_by_group(result: ExperimentResult) -> dict[str, float]:
+    return _errors_by_group(result, comm=True)
+
+
+def comp_errors_by_group(result: ExperimentResult) -> dict[str, float]:
+    return _errors_by_group(result, comm=False)
+
+
+def stash_errors(benchmark, result: ExperimentResult) -> None:
+    """Record the regenerated error row in the benchmark report."""
+    e = result.errors
+    benchmark.extra_info.update(
+        {
+            "comm_samples_pct": round(e.comm_samples, 2),
+            "comm_non_samples_pct": round(e.comm_non_samples, 2),
+            "comp_all_pct": round(e.comp_all, 2),
+            "average_pct": round(e.average, 2),
+            "local_model": result.model.local.summary(),
+            "remote_model": result.model.remote.summary(),
+        }
+    )

@@ -1,0 +1,76 @@
+"""Ablations of the contention hypotheses (DESIGN.md abl1/abl2).
+
+The paper's §II-A hypotheses are arbitration *policies* in the
+simulator, so they can be switched off individually:
+
+* **abl1 — no minimum guarantee**: without the anti-starvation floor,
+  communications starve under full computation pressure;
+* **abl2 — no CPU priority**: with plain proportional sharing,
+  communications keep far more bandwidth (and computations lose more)
+  than the paper observes on real machines.
+
+Both ablations change the local/local contention curve in the direction
+the hypotheses predict — evidence the hypotheses are load-bearing.
+"""
+
+import numpy as np
+
+from repro.bench import SweepConfig, measure_curves
+from repro.topology import get_platform
+
+
+def _henri_curves(**profile_overrides):
+    platform = get_platform("henri")
+    profile = platform.profile.with_overrides(
+        comp_noise_sigma=0.0, comm_noise_sigma=0.0, **profile_overrides
+    )
+    return measure_curves(
+        platform.machine,
+        profile,
+        m_comp=0,
+        m_comm=0,
+        config=SweepConfig(noiseless=True),
+    )
+
+
+def test_ablation_no_min_guarantee(benchmark):
+    """abl1: drop the floor to (nearly) zero -> communications starve."""
+    baseline = _henri_curves()
+    ablated = benchmark.pedantic(
+        _henri_curves,
+        kwargs={"nic_min_fraction": 0.02},
+        rounds=1,
+        iterations=1,
+    )
+    # Same behaviour before saturation...
+    assert np.allclose(
+        ablated.comm_parallel[:8], baseline.comm_parallel[:8], rtol=0.02
+    )
+    # ...but at full socket, communications collapse toward starvation.
+    assert ablated.comm_parallel[-1] < 0.15 * baseline.comm_parallel[-1]
+    # Computations pick up the released bandwidth.
+    assert ablated.comp_parallel[-1] > baseline.comp_parallel[-1]
+    benchmark.extra_info["comm_at_full_socket"] = {
+        "with_floor": round(float(baseline.comm_parallel[-1]), 2),
+        "without_floor": round(float(ablated.comm_parallel[-1]), 2),
+    }
+
+
+def test_ablation_no_cpu_priority(benchmark):
+    """abl2: proportional sharing instead of CPU-priority + sag."""
+    baseline = _henri_curves()
+    ablated = benchmark.pedantic(
+        _henri_curves,
+        kwargs={"cpu_priority": False},
+        rounds=1,
+        iterations=1,
+    )
+    # Without priority, communications keep much more bandwidth under
+    # contention than the real (priority-based) hardware allows.
+    assert ablated.comm_parallel[-1] > 1.4 * baseline.comm_parallel[-1]
+    # And computations end up slower.
+    assert ablated.comp_parallel[-1] < baseline.comp_parallel[-1]
+    benchmark.extra_info["comm_at_full_socket"] = {
+        "cpu_priority": round(float(baseline.comm_parallel[-1]), 2),
+        "proportional": round(float(ablated.comm_parallel[-1]), 2),
+    }

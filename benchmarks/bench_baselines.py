@@ -1,0 +1,72 @@
+"""Baselines vs the paper's model (DESIGN.md abl3).
+
+Scores the §II-D / §V alternatives against the same ground truth:
+
+* **naive** (no contention at all),
+* **queueing-ps** (single processor-sharing queue, no priorities),
+* **langguth-threadfair** (equal per-thread sharing).
+
+The paper's model should beat all three on communication prediction for
+contended platforms, and the margin should shrink on diablo where there
+is almost nothing to model.
+"""
+
+import numpy as np
+
+from repro.baselines import LangguthModel, NaiveModel, QueueingModel, calibrate_baseline
+from repro.evaluation import mape
+from _common import run_figure_pipeline
+
+BASELINES = {
+    "naive": NaiveModel,
+    "queueing-ps": QueueingModel,
+    "langguth-threadfair": LangguthModel,
+}
+
+
+def score_platform(platform_name: str) -> dict[str, float]:
+    """Mean communication MAPE over all placements, per predictor."""
+    result = run_figure_pipeline(platform_name)
+    scores: dict[str, list[float]] = {name: [] for name in BASELINES}
+    scores["paper-model"] = []
+    for key in result.dataset.sweep:
+        curves = result.dataset.sweep[key]
+        scores["paper-model"].append(
+            mape(curves.comm_parallel, result.predictions[key].comm_parallel)
+        )
+        inputs = calibrate_baseline(curves)
+        for name, cls in BASELINES.items():
+            swept = cls(inputs).sweep(curves.core_counts)
+            scores[name].append(mape(curves.comm_parallel, swept["comm_par"]))
+    return {name: float(np.mean(vals)) for name, vals in scores.items()}
+
+
+def test_baselines_henri(benchmark):
+    scores = benchmark.pedantic(
+        score_platform, args=("henri",), rounds=1, iterations=1
+    )
+    # The paper's model wins on a contended platform.
+    for name in BASELINES:
+        assert scores["paper-model"] < scores[name], (
+            f"paper model ({scores['paper-model']:.2f}%) should beat "
+            f"{name} ({scores[name]:.2f}%)"
+        )
+    # The naive baseline is far off: contention is a real, large effect.
+    assert scores["naive"] > 3.0 * scores["paper-model"]
+    benchmark.extra_info["comm_mape_pct"] = {
+        k: round(v, 2) for k, v in scores.items()
+    }
+
+
+def test_baselines_diablo(benchmark):
+    scores = benchmark.pedantic(
+        score_platform, args=("diablo",), rounds=1, iterations=1
+    )
+    # Nearly contention-free: even the naive baseline is decent here,
+    # but the full model must not be (much) worse than any baseline.
+    for name in BASELINES:
+        assert scores["paper-model"] <= scores[name] + 0.5
+    assert scores["naive"] < 5.0
+    benchmark.extra_info["comm_mape_pct"] = {
+        k: round(v, 2) for k, v in scores.items()
+    }

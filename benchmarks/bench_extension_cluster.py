@@ -1,0 +1,83 @@
+"""Extension — sender-side contention on a two-machine cluster (ext6).
+
+The paper's benchmark keeps the sender idle ("computations and
+communications use different data, making them completely
+independent") and models the receive side only.  With both machines in
+one arbitration domain, the excluded experiment becomes runnable: how
+does the achieved transfer bandwidth depend on *which side* computes?
+
+Expected shape: contention from either side throttles the message
+(both memory systems sit on its path); computing on both sides is at
+least as bad as the worse single side; and the wire itself is never
+the bottleneck on this testbed (the paper's premise that memory, not
+the network, is the scarce resource).
+"""
+
+from repro.memsim import Arbiter
+from repro.net import FABRICS
+from repro.net.cluster import (
+    WIRE_ID,
+    Cluster,
+    build_cluster_resources,
+    compute_streams,
+    transfer_stream,
+)
+from repro.topology import get_platform
+
+
+def run_sender_receiver_study():
+    cluster = Cluster(
+        node0=get_platform("henri"),
+        node1=get_platform("henri"),
+        fabric=FABRICS["infiniband-edr"],
+    )
+    arbiter = Arbiter(build_cluster_resources(cluster), cluster.node0.profile)
+    n = cluster.node0.cores_per_socket
+
+    def measure(*, sender_cores: int, receiver_cores: int):
+        streams = [
+            transfer_stream(
+                cluster, stream_id="msg", src_rank=0, src_node=0, dst_node=0
+            )
+        ]
+        if sender_cores:
+            streams += compute_streams(
+                cluster, rank=0, n_cores=sender_cores, data_node=0
+            )
+        if receiver_cores:
+            streams += compute_streams(
+                cluster, rank=1, n_cores=receiver_cores, data_node=0
+            )
+        allocation = arbiter.solve(streams)
+        return allocation.rate("msg"), allocation
+
+    idle, _ = measure(sender_cores=0, receiver_cores=0)
+    rx_busy, _ = measure(sender_cores=0, receiver_cores=n)
+    tx_busy, _ = measure(sender_cores=n, receiver_cores=0)
+    both_busy, allocation = measure(sender_cores=n, receiver_cores=n)
+    return idle, rx_busy, tx_busy, both_busy, allocation
+
+
+def test_extension_sender_side_contention(benchmark):
+    idle, rx_busy, tx_busy, both_busy, allocation = benchmark.pedantic(
+        run_sender_receiver_study, rounds=1, iterations=1
+    )
+
+    # Idle cluster: the wire-limited nominal.
+    assert idle > 12.0
+    # Either busy side alone throttles the transfer substantially.
+    assert rx_busy < 0.6 * idle
+    assert tx_busy < 0.6 * idle
+    # Both busy is at least as bad as the worse single side.
+    assert both_busy <= min(rx_busy, tx_busy) + 1e-9
+    # The anti-starvation floor still holds end to end.
+    assert both_busy > 0.2 * idle
+    # The wire is never the bottleneck (memory is, per the paper's premise).
+    assert allocation.resource_usage[WIRE_ID] < 0.99 * 12.5
+
+    benchmark.extra_info["transfer_gbps"] = {
+        "idle": round(idle, 2),
+        "receiver_busy": round(rx_busy, 2),
+        "sender_busy": round(tx_busy, 2),
+        "both_busy": round(both_busy, 2),
+    }

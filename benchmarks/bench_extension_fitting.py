@@ -1,0 +1,57 @@
+"""Extension — heuristic vs optimised calibration (ext7).
+
+The paper prefers a cheap parameter extraction ("few application runs",
+"parameters with a physical meaning") over heavier fitting machinery.
+This benchmark quantifies the trade: a Nelder-Mead least-squares fit of
+the same model family is the accuracy upper bound on each calibration
+placement; the heuristic must land within a small margin of it.
+"""
+
+from repro.bench import SweepConfig
+from repro.bench.runner import measure_curves
+from repro.core import calibrate
+from repro.core.fitting import fit_quality, refine_parameters
+from repro.topology import get_platform
+
+
+def run_comparison():
+    out = {}
+    for name in ("henri", "occigen"):
+        platform = get_platform(name)
+        curves = measure_curves(
+            platform.machine,
+            platform.profile,
+            m_comp=0,
+            m_comm=0,
+            config=SweepConfig(seed=1),
+        )
+        heuristic = calibrate(curves)
+        refined = refine_parameters(curves, knee_radius=1, maxiter=200)
+        out[name] = (
+            fit_quality(heuristic, curves),
+            fit_quality(refined, curves),
+        )
+    return out
+
+
+def test_extension_fitting(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    for name, (heuristic_q, refined_q) in results.items():
+        # The optimiser is an upper bound by construction.
+        assert refined_q <= heuristic_q + 1e-12, name
+        # The paper's judgement: the cheap extraction is close enough —
+        # within 1.5 percentage points of mean relative error.
+        assert heuristic_q - refined_q < 0.015, (
+            f"{name}: heuristic {heuristic_q:.4f} vs refined {refined_q:.4f}"
+        )
+        # Both calibrations describe the curves well (< 6 % mean error).
+        assert heuristic_q < 0.06, name
+
+    benchmark.extra_info["mean_rel_error"] = {
+        name: {
+            "heuristic": round(h, 4),
+            "refined": round(r, 4),
+        }
+        for name, (h, r) in results.items()
+    }

@@ -1,0 +1,128 @@
+"""Extension — the paper's own model-limit claims, validated (ext4/ext5).
+
+Two §IV-C1 statements get their experiment here:
+
+* **many NUMA nodes**: "On machines with many NUMA nodes (more than 4),
+  network performances under memory contention depend on data locality
+  and the heuristic given by formula 6 is not sufficiently accurate
+  anymore."  We build an 8-node machine whose NIC bandwidth varies per
+  destination node (as real many-node machines show) and verify the
+  placement model's communication error on non-sample placements grows
+  well beyond the 2-node testbed's.
+
+* **unstable input data**: "Higher prediction errors come most often
+  from unstable input data."  We sweep the measurement-noise level and
+  verify the overall prediction error grows with it.
+"""
+
+import numpy as np
+
+from repro.bench import SweepConfig, run_placement_grid
+from repro.bench.sweep import sample_placements
+from repro.core import calibrate_placement_model
+from repro.evaluation import placement_errors
+from repro.memsim import ContentionProfile
+from repro.topology import MachineBuilder, validate_machine
+from repro.topology.platforms import Platform
+from repro.units import GiB
+
+
+def build_many_node_platform() -> Platform:
+    """An 8-NUMA-node machine with per-node NIC locality variation."""
+    machine = validate_machine(
+        MachineBuilder("manynodes")
+        .processor("Many-node CPU", cores_per_socket=16, sockets=2)
+        .numa(nodes_per_socket=4, memory_bytes=16 * GiB, controller_gbps=24.0)
+        .interconnect(gbps=42.0)
+        .network("edr", line_rate_gbps=12.3, pcie_gbps=13.8, socket=0)
+        .cache(level=3, size_bytes=24 * 2**20, shared_by=16)
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=6.8,
+        core_stream_remote_gbps=2.7,
+        nic_min_fraction=0.42,
+        sag_onset=0.78,
+        sag_span=0.24,
+        interference_core_gbps=0.3,
+        interference_mixed_gbps=0.7,
+        remote_capacity_fraction=0.5,
+        # Per-node NIC bandwidth variation that locality alone cannot
+        # explain: equation 6 collapses all of it onto two nominals.
+        nic_locality_gbps={
+            0: 12.3, 1: 11.0, 2: 10.2, 3: 11.6,
+            4: 9.8, 5: 11.1, 6: 8.9, 7: 10.4,
+        },
+        comp_noise_sigma=0.004,
+        comm_noise_sigma=0.008,
+    )
+    return Platform(machine=machine, profile=profile)
+
+
+def run_many_nodes():
+    platform = build_many_node_platform()
+    dataset = run_placement_grid(platform, config=SweepConfig(seed=1))
+    model = calibrate_placement_model(dataset, platform)
+    return placement_errors(dataset, model, sample_placements(platform))
+
+
+def test_extension_many_numa_nodes(benchmark, experiment_cache):
+    errors = benchmark.pedantic(run_many_nodes, rounds=1, iterations=1)
+    henri = experiment_cache("henri").errors
+
+    # Samples remain reasonably predicted: the failure is the formula-6
+    # extrapolation, not the calibration.
+    assert errors.comm_samples < 6.0
+    # Non-sample communication errors blow past the 2-node testbed's.
+    assert errors.comm_non_samples > 2.0 * henri.comm_non_samples
+    assert errors.comm_non_samples > 5.0
+    # Computations on non-sample placements stay fine (equation 7 is
+    # unaffected by the NIC locality variation).  On the *samples*, the
+    # tiny per-node controller (the node saturates at ~4 of 16 cores)
+    # amplifies the paper's §IV-C1 observation that the pre-threshold
+    # split is "more in favour of computations as in reality" — another
+    # disclosed limit, reproduced rather than hidden.
+    assert errors.comp_non_samples < 4.0
+    assert errors.comp_samples > errors.comp_non_samples
+
+    benchmark.extra_info["many_nodes_comm_ns_pct"] = round(
+        errors.comm_non_samples, 2
+    )
+    benchmark.extra_info["henri_comm_ns_pct"] = round(
+        henri.comm_non_samples, 2
+    )
+
+
+def run_noise_sweep():
+    from repro.topology import get_platform
+
+    results = {}
+    for sigma in (0.0, 0.01, 0.03):
+        platform = get_platform("henri")
+        noisy = Platform(
+            machine=platform.machine,
+            profile=platform.profile.with_overrides(
+                comp_noise_sigma=sigma, comm_noise_sigma=sigma
+            ),
+        )
+        dataset = run_placement_grid(noisy, config=SweepConfig(seed=5))
+        model = calibrate_placement_model(dataset, noisy)
+        errors = placement_errors(dataset, model, sample_placements(noisy))
+        results[sigma] = errors.average
+    return results
+
+
+def test_extension_noise_sensitivity(benchmark):
+    results = benchmark.pedantic(run_noise_sweep, rounds=1, iterations=1)
+    sigmas = sorted(results)
+    averages = [results[s] for s in sigmas]
+
+    # Error grows with measurement instability.
+    assert averages[0] < averages[-1]
+    assert averages[-1] > 2.0 * averages[0]
+    # Even the noisy end stays usable (the paper's errors are a few %).
+    assert averages[-1] < 15.0
+
+    benchmark.extra_info["avg_error_pct_by_sigma"] = {
+        str(s): round(a, 2) for s, a in zip(sigmas, averages)
+    }

@@ -1,0 +1,75 @@
+"""Extension — LLC filtering (ext3): contention vs working-set size.
+
+The paper bypasses the LLC to isolate true memory traffic (§II-C) and
+defers cache modelling to future work (§VI).  This benchmark runs the
+deferred experiment: a *temporal* copy kernel with a growing per-thread
+working set, overlapped with communications on the same NUMA node.
+
+Expected shape: while the working set fits in the LLC, almost no DRAM
+traffic is produced and the NIC keeps its nominal bandwidth; as the
+working set outgrows the cache, the contention of the paper's
+benchmark re-emerges and converges to the non-temporal behaviour.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.kernels import CacheModel, copy_kernel
+from repro.memsim import Scenario, solve_scenario
+from repro.topology import get_platform
+from repro.units import MiB
+
+
+def run_working_set_sweep():
+    platform = get_platform("henri")
+    n = platform.cores_per_socket
+    cache = CacheModel(machine=platform.machine, n_threads=n)
+    kernel = dataclasses.replace(copy_kernel(), non_temporal=False)
+
+    working_sets = [
+        cache.llc_share_bytes // 4,
+        cache.llc_share_bytes,
+        4 * cache.llc_share_bytes,
+        16 * cache.llc_share_bytes,
+        256 * MiB,
+    ]
+    points = []
+    for ws in working_sets:
+        demand = cache.effective_demand_gbps(
+            kernel,
+            working_set_bytes=ws,
+            stream_gbps=platform.profile.core_stream_local_gbps,
+        )
+        result = solve_scenario(
+            platform.machine,
+            platform.profile,
+            Scenario(n, 0, 0, comp_demand_gbps=demand, comp_issue_gbps=demand),
+        )
+        points.append((ws, demand, result.comm_gbps))
+    baseline = solve_scenario(
+        platform.machine, platform.profile, Scenario(n, 0, 0)
+    )
+    return points, baseline.comm_gbps
+
+
+def test_extension_llc_working_set(benchmark):
+    points, nt_comm = benchmark.pedantic(
+        run_working_set_sweep, rounds=1, iterations=1
+    )
+    comm = np.array([p[2] for p in points])
+    demands = np.array([p[1] for p in points])
+
+    # Cache-resident working set: no DRAM pressure, NIC at nominal.
+    assert comm[0] > 0.97 * 12.3
+    # Cache-overflowing working set: the paper's contention returns.
+    assert comm[-1] < 0.6 * 12.3
+    # Convergence to the non-temporal (bypass) behaviour.
+    np.testing.assert_allclose(comm[-1], nt_comm, rtol=0.05)
+    # Monotone: more DRAM traffic, less network bandwidth.
+    assert np.all(np.diff(comm) <= 1e-9)
+    assert np.all(np.diff(demands) >= -1e-9)
+
+    benchmark.extra_info["comm_gbps_by_working_set"] = {
+        f"{ws // MiB} MiB": round(float(c), 2) for ws, _, c in points
+    }

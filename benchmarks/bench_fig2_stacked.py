@@ -1,0 +1,43 @@
+"""Figure 2 — the stacked memory-bandwidth view of a calibrated model.
+
+The paper's Figure 2 is the stacked version of the henri-subnuma
+local/local subplot: computation bandwidth stacked under communication
+bandwidth, with the annotated points (1, B_comp_seq), (N_par_max,
+T_par_max), (N_seq_max, T_seq_max) and (N_seq_max, T_par_max2).
+"""
+
+import numpy as np
+
+from repro.core import stacked_view
+from _common import run_figure_pipeline
+
+
+def test_fig2_stacked_view(benchmark):
+    result = benchmark.pedantic(
+        run_figure_pipeline, args=("henri-subnuma",), rounds=1, iterations=1
+    )
+    view = stacked_view(result.model.local)
+
+    # The four annotated points exist and are consistent.
+    p = result.model.local
+    assert view.points["(1, Bcomp_seq)"] == (1.0, p.b_comp_seq)
+    assert view.points["(Npar_max, Tpar_max)"][1] >= view.points[
+        "(Nseq_max, Tpar_max2)"
+    ][1]
+
+    # Paper shape: the stacked total rises, peaks at N_par_max, then
+    # declines with a slope change at N_seq_max.
+    top = view.stacked_top()
+    peak_idx = int(np.argmax(top))
+    assert view.core_counts[peak_idx] == p.n_par_max
+    tail = view.core_counts > p.n_seq_max
+    assert np.all(np.diff(top[tail]) <= 1e-9)
+
+    # Computation-alone (green curve) scales perfectly up to its peak.
+    rising = view.core_counts <= p.n_seq_max
+    perfect = view.core_counts[rising] * p.b_comp_seq
+    assert np.all(view.comp_alone[rising] <= perfect + 1e-9)
+
+    benchmark.extra_info["points"] = {
+        k: (float(x), round(float(y), 2)) for k, (x, y) in view.points.items()
+    }

@@ -1,0 +1,56 @@
+"""Figure 3 — henri (Intel, InfiniBand): 4 placements, measured vs model.
+
+Paper shape claims checked here (§IV-B a):
+
+* contention impacts both computations and communications;
+* the model is accurate on the remote/remote sample;
+* on local/local the real communication drop starts *before* the model
+  predicts (the model "reflects the correct impact on communications
+  too late");
+* cross placements show the same flaw but comparable overall accuracy.
+"""
+
+import numpy as np
+
+from repro.evaluation import mape
+from _common import comm_errors_by_group, run_figure_pipeline, stash_errors
+
+
+def test_fig3_henri(benchmark):
+    result = benchmark.pedantic(
+        run_figure_pipeline, args=("henri",), rounds=1, iterations=1
+    )
+    sweep = result.dataset.sweep
+
+    # Contention exists: at full socket, local/local comm is well below
+    # nominal and comp below its alone curve.
+    local = sweep[(0, 0)]
+    assert local.comm_parallel[-1] < 0.6 * local.comm_alone[-1]
+    assert local.comp_parallel[-1] < local.comp_alone[-1]
+
+    # The model errs on the *onset* of the communication drop: the real
+    # curve starts dropping earlier than the prediction.
+    pred = result.predictions[(0, 0)]
+    meas_drop = int(
+        local.core_counts[
+            np.argmax(local.comm_parallel < 0.97 * local.comm_alone[0])
+        ]
+    )
+    model_drop = int(
+        local.core_counts[
+            np.argmax(pred.comm_parallel < 0.97 * pred.comm_alone)
+        ]
+    )
+    assert meas_drop <= model_drop
+
+    # Overall accuracy in the paper's band (Table II row: ~2-4 %).
+    errors = comm_errors_by_group(result)
+    assert errors["samples"] < 5.0
+    assert errors["non_samples"] < 6.0
+    for key in sweep:
+        comp_err = mape(
+            sweep[key].comp_parallel, result.predictions[key].comp_parallel
+        )
+        assert comp_err < 4.0
+
+    stash_errors(benchmark, result)

@@ -1,0 +1,58 @@
+"""Figure 4 — henri-subnuma: 16 placements, the controller-vs-link lesson.
+
+Paper shape claims checked here (§IV-B b, §IV-C2):
+
+* machine symmetry: equivalent remote placements measure identically;
+* the most disturbed placements are the diagonal (same NUMA node);
+* computations are almost not impacted off-diagonal;
+* different remote nodes show no contention → the bottleneck is the
+  memory controller, **not** the inter-socket link;
+* two calibration samples suffice to predict all 16 combinations.
+"""
+
+import numpy as np
+
+from repro.evaluation import mape
+from _common import run_figure_pipeline, stash_errors
+
+
+def test_fig4_henri_subnuma(benchmark):
+    result = benchmark.pedantic(
+        run_figure_pipeline, args=("henri-subnuma",), rounds=1, iterations=1
+    )
+    sweep = result.dataset.sweep
+    assert len(sweep) == 16
+
+    # Symmetry: both remote nodes behave the same (up to noise).
+    a, b = sweep[(2, 2)], sweep[(3, 3)]
+    assert np.allclose(a.comp_parallel, b.comp_parallel, rtol=0.05)
+
+    # Diagonal placements are the most disturbed for computations.
+    def comp_impact(key):
+        curves = sweep[key]
+        return float(
+            np.mean(1.0 - curves.comp_parallel / np.maximum(curves.comp_alone, 1e-9))
+        )
+
+    diag_local = comp_impact((0, 0))
+    diag_remote = comp_impact((2, 2))
+    off_diag = [comp_impact(k) for k in sweep if k[0] != k[1]]
+    assert diag_local > max(off_diag)
+    assert diag_remote > max(off_diag)
+
+    # Off-diagonal computations are almost untouched (< 1 % impact).
+    assert max(off_diag) < 0.01
+
+    # The controller lesson: computations targeting remote node 2 are
+    # unaffected by communications targeting remote node 3, although
+    # both cross the same inter-socket link.
+    assert comp_impact((2, 3)) < 0.01
+
+    # Two samples predict all 16 placements within the paper's band.
+    comm_errs = [
+        mape(sweep[k].comm_parallel, result.predictions[k].comm_parallel)
+        for k in sweep
+    ]
+    assert float(np.mean(comm_errs)) < 6.0
+
+    stash_errors(benchmark, result)

@@ -1,0 +1,52 @@
+"""Figure 5 — diablo (AMD EPYC): locality-sensitive NIC, ~no contention.
+
+Paper shape claims checked here (§IV-B c):
+
+* network bandwidth depends strongly on the destination node: ~12.1
+  GB/s to node 0 versus ~22.4 GB/s to node 1 (where the NIC is
+  plugged);
+* there is almost no contention anywhere;
+* the model still predicts accurately thanks to equation 6's nominal
+  substitution (diablo is a best-case for it).
+"""
+
+import numpy as np
+
+from _common import run_figure_pipeline, stash_errors
+
+
+def test_fig5_diablo(benchmark):
+    result = benchmark.pedantic(
+        run_figure_pipeline, args=("diablo",), rounds=1, iterations=1
+    )
+    sweep = result.dataset.sweep
+
+    # NIC locality asymmetry (note: on diablo node 1 is the NIC node).
+    to_node0 = float(np.median(sweep[(0, 0)].comm_alone))
+    to_node1 = float(np.median(sweep[(1, 1)].comm_alone))
+    np.testing.assert_allclose(to_node0, 12.1, rtol=0.05)
+    np.testing.assert_allclose(to_node1, 22.4, rtol=0.05)
+    assert to_node1 / to_node0 > 1.7
+
+    # Almost no contention: parallel curves within a few percent of the
+    # alone curves, everywhere.
+    for key in sweep:
+        curves = sweep[key]
+        assert np.all(
+            curves.comp_parallel >= 0.93 * curves.comp_alone
+        ), f"unexpected computation impact at {key}"
+        assert np.all(
+            curves.comm_parallel >= 0.90 * np.median(curves.comm_alone)
+        ), f"unexpected communication impact at {key}"
+
+    # The model's nominal-substitution rule captures the asymmetry:
+    # predictions for comm toward node 1 use the ~22.4 GB/s nominal.
+    pred_to_nic_node = result.predictions[(1, 1)]
+    assert pred_to_nic_node.comm_alone > 20.0
+    pred_to_far_node = result.predictions[(0, 0)]
+    assert pred_to_far_node.comm_alone < 14.0
+
+    # diablo sits near the bottom of Table II.
+    assert result.errors.average < 1.5
+
+    stash_errors(benchmark, result)

@@ -1,0 +1,46 @@
+"""Figure 6 — occigen (older Xeon): only computations are impacted.
+
+Paper shape claims checked here (§IV-B d):
+
+* communications always run at their nominal bandwidth (the hardware
+  fully protects the NIC: α = 1);
+* computations are impacted only when both activities make remote
+  accesses to the same node;
+* occigen is the platform where the model is the most accurate.
+"""
+
+import numpy as np
+
+from _common import run_figure_pipeline, stash_errors
+
+
+def test_fig6_occigen(benchmark):
+    result = benchmark.pedantic(
+        run_figure_pipeline, args=("occigen",), rounds=1, iterations=1
+    )
+    sweep = result.dataset.sweep
+
+    # Communications never impacted, on any placement.
+    for key in sweep:
+        curves = sweep[key]
+        assert np.allclose(
+            curves.comm_parallel, np.median(curves.comm_alone), rtol=0.02
+        ), f"communications impacted at {key}"
+
+    # The calibrated worst-case factor is (essentially) one.
+    assert result.model.local.alpha > 0.97
+    assert result.model.remote.alpha > 0.97
+
+    # Computations: impacted on remote/remote, untouched elsewhere.
+    remote = sweep[(1, 1)]
+    assert remote.comp_parallel[-1] < 0.97 * remote.comp_alone[-1]
+    for key in [(0, 0), (0, 1), (1, 0)]:
+        curves = sweep[key]
+        assert np.all(curves.comp_parallel >= 0.98 * curves.comp_alone), (
+            f"unexpected computation impact at {key}"
+        )
+
+    # Most accurate platform of the testbed (paper: 0.20 % average).
+    assert result.errors.average < 0.5
+
+    stash_errors(benchmark, result)

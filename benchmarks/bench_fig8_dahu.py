@@ -1,0 +1,35 @@
+"""Figure 8 — dahu (Intel + Omni-Path).
+
+Paper shape claims checked here: dahu behaves like henri (clear
+contention, accurate model) but over an Omni-Path fabric, showing the
+model is fabric-agnostic.  Table II row: 2.57 % comm / 2.92 % comp.
+"""
+
+import numpy as np
+
+from _common import comm_errors_by_group, run_figure_pipeline, stash_errors
+
+
+def test_fig8_dahu(benchmark):
+    result = benchmark.pedantic(
+        run_figure_pipeline, args=("dahu",), rounds=1, iterations=1
+    )
+    sweep = result.dataset.sweep
+
+    # Omni-Path nominal (~11 GB/s) rather than InfiniBand EDR.
+    assert 10.0 < float(np.median(sweep[(0, 0)].comm_alone)) < 12.0
+
+    # Contention shape as on henri: the local/local placement throttles
+    # communications to the guaranteed floor at full socket.
+    local = sweep[(0, 0)]
+    floor_ratio = local.comm_parallel[-1] / float(np.median(local.comm_alone))
+    assert 0.3 < floor_ratio < 0.65
+
+    # Model accuracy in the paper's band.
+    comm = comm_errors_by_group(result)
+    assert comm["samples"] < 6.0
+    assert comm["non_samples"] < 6.0
+    assert result.errors.comp_all < 3.0
+    assert result.errors.average < 4.0
+
+    stash_errors(benchmark, result)

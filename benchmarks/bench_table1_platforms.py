@@ -1,0 +1,43 @@
+"""Table I — characteristics of testbed platforms.
+
+Regenerates the platform table and checks it against the published
+row contents.
+"""
+
+from repro.evaluation import render_table1
+from repro.topology import get_platform, platform_names
+
+
+def build_table1() -> str:
+    return render_table1()
+
+
+def test_table1_platforms(benchmark):
+    table = benchmark(build_table1)
+
+    # Every published row appears with its processor/core-count text.
+    published = {
+        "henri": "INTEL Xeon Gold 6140 with 18 cores",
+        "henri-subnuma": "4 NUMA nodes",
+        "dahu": "INTEL Xeon Gold 6130 with 16 cores",
+        "diablo": "AMD EPYC 7452 with 32 cores",
+        "pyxis": "CAVIUM-ARM ThunderX2 99xx with 32 cores",
+        "occigen": "INTEL Xeon E5 2690v4 with 14 cores",
+    }
+    for name, fragment in published.items():
+        row = next(line for line in table.splitlines() if line.startswith(name))
+        assert fragment in row, f"{name}: expected {fragment!r} in {row!r}"
+
+    # Memory sizes as published.
+    for name, mem in [
+        ("henri", "96 GB"),
+        ("dahu", "192 GB"),
+        ("diablo", "256 GB"),
+        ("pyxis", "256 GB"),
+        ("occigen", "64 GB"),
+    ]:
+        platform = get_platform(name)
+        assert mem in platform.machine.metadata["memory"]
+
+    assert len(platform_names()) == 6
+    benchmark.extra_info["table"] = table

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artefact (table or figure) from
+scratch — benchmark → calibrate → predict — and asserts the paper's
+*shape* claims on the result.  Experiment results are cached per
+session so shape assertions do not re-run the pipeline outside the
+timed section.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.bench import SweepConfig
+from repro.evaluation import run_platform_experiment
+
+#: Seed used by every benchmark (deterministic artefacts).
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return SweepConfig(seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """Memoised platform experiments for shape assertions."""
+    cache: dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = run_platform_experiment(
+                name, config=SweepConfig(seed=BENCH_SEED)
+            )
+        return cache[name]
+
+    return get

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Model a machine that is not in the paper's testbed.
+
+The library is not hardwired to Table I: describe any dual-socket
+machine with the topology builder, give it a contention profile, and
+the whole pipeline (benchmark → calibrate → predict → advise) works.
+
+Here: a hypothetical 24-core dual-socket machine with sub-NUMA
+clustering (4 NUMA nodes) and a 400 Gb/s NIC — a plausible
+next-generation node.
+
+Run:  python examples/custom_platform.py
+"""
+
+from repro import SweepConfig, calibrate_placement_model
+from repro.advisor import Advisor, Workload
+from repro.bench import run_placement_grid
+from repro.bench.sweep import sample_placements
+from repro.evaluation import placement_errors
+from repro.memsim import ContentionProfile
+from repro.topology import MachineBuilder, render_text, validate_machine
+from repro.topology.platforms import Platform
+from repro.units import GB, GiB, gbit_to_gbyte
+
+
+def build_platform() -> Platform:
+    machine = validate_machine(
+        MachineBuilder("nextgen")
+        .processor("Hypothetical 24-core CPU", cores_per_socket=24, sockets=2)
+        .numa(nodes_per_socket=2, memory_bytes=64 * GiB, controller_gbps=95.0)
+        .interconnect(gbps=64.0, name="XGMI")
+        .network(
+            "NDR InfiniBand",
+            line_rate_gbps=gbit_to_gbyte(400),  # 50 GB/s line rate
+            pcie_gbps=55.0,
+            socket=0,
+        )
+        .cache(level=3, size_bytes=96 * 2**20, shared_by=24)
+        .meta(
+            processor="2 x Hypothetical 24-core CPU",
+            memory="256 GB of RAM, 4 NUMA nodes",
+            network="NDR INFINIBAND",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=8.5,
+        core_stream_remote_gbps=3.4,
+        nic_min_fraction=0.35,
+        sag_onset=0.80,
+        sag_span=0.30,
+        interference_core_gbps=0.5,
+        interference_mixed_gbps=1.2,
+        remote_capacity_fraction=0.5,
+        comp_noise_sigma=0.005,
+        comm_noise_sigma=0.01,
+    )
+    return Platform(machine=machine, profile=profile)
+
+
+def main() -> None:
+    platform = build_platform()
+    print(render_text(platform.machine))
+    print()
+
+    # Full grid: 16 placements on a 4-node machine.
+    dataset = run_placement_grid(platform, config=SweepConfig(seed=11))
+    model = calibrate_placement_model(dataset, platform)
+    print(f"local  model: {model.local.summary()}")
+    print(f"remote model: {model.remote.summary()}")
+
+    errors = placement_errors(dataset, model, sample_placements(platform))
+    print(f"\nmodel accuracy on this machine: "
+          f"comm {errors.comm_all:.2f} %, comp {errors.comp_all:.2f} %, "
+          f"average {errors.average:.2f} %")
+    print("(note: a 50 GB/s NIC rivals a remote memory controller, which")
+    print(" stresses the model's hypotheses far more than the paper's")
+    print(" testbed did — §IV-C1 predicts exactly this kind of degradation")
+    print(" on 'more complex system topologies')")
+
+    # With a 50 GB/s NIC, contention bites much harder: ask the advisor.
+    advisor = Advisor(model, platform.machine)
+    workload = Workload(comp_bytes=60 * GB, comm_bytes=30 * GB)
+    print("\nbest configurations for a 60 GB compute / 30 GB receive phase:")
+    for i, rec in enumerate(advisor.recommend(workload, top=3), start=1):
+        print(f"  {i}. {rec.describe()}")
+
+
+if __name__ == "__main__":
+    main()

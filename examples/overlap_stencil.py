@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A distributed stencil iteration with communication/computation overlap.
+
+This is the motivating application of the paper's introduction: a
+halo-exchange stencil where each iteration overlaps
+
+* the interior update (memory-bound kernel over the local domain) with
+* the halo reception from the neighbour rank (large MPI message).
+
+The example runs the same iteration three ways on the simulated henri
+machine and reports the iteration time:
+
+1. no overlap (communicate, then compute — the naive baseline);
+2. overlap with both data streams on the same NUMA node (contended);
+3. overlap with halo buffers placed on the other NUMA node at a
+   moderate core count (the model-guided configuration).
+
+Run:  python examples/overlap_stencil.py
+"""
+
+from repro import get_platform
+from repro.kernels import ComputeTeam, triad_kernel
+from repro.mpi import ProgressMode, SimBuffer, SimMPI
+from repro.units import MB, MiB
+
+#: Interior points each thread updates per iteration (weak scaling).
+ELEMENTS_PER_THREAD = 12 * MiB
+#: Halo exchanged with the neighbour each iteration.
+HALO_BYTES = 192 * MB
+
+
+def iteration_time(
+    *,
+    n_threads: int,
+    comp_node: int,
+    halo_node: int,
+    overlap: bool,
+) -> float:
+    """Simulate one stencil iteration; return its wall-clock seconds."""
+    platform = get_platform("henri")
+    progress = ProgressMode.THREAD if overlap else ProgressMode.POLLING
+    world = SimMPI(platform, progress=progress)
+    team = ComputeTeam(
+        platform.machine,
+        platform.profile,
+        n_threads=n_threads,
+        data_node=comp_node,
+        kernel=triad_kernel(),
+    )
+
+    halo = world.irecv(
+        SimBuffer(HALO_BYTES, numa_node=halo_node), computing_on=comp_node
+    )
+    if not overlap:
+        # Polling progression: the halo only moves inside wait(), so the
+        # exchange completes before any computation starts.
+        world.wait(halo)
+    team.run(world.engine, elements_per_thread=ELEMENTS_PER_THREAD)
+    world.engine.run()
+    if overlap:
+        world.wait(halo)
+    return world.engine.now
+
+
+def main() -> None:
+    n = get_platform("henri").cores_per_socket
+
+    no_overlap = iteration_time(
+        n_threads=n, comp_node=0, halo_node=0, overlap=False
+    )
+    print(f"1. no overlap, everything on node 0:        {no_overlap * 1e3:7.2f} ms")
+
+    contended = iteration_time(
+        n_threads=n, comp_node=0, halo_node=0, overlap=True
+    )
+    print(f"2. overlap, halo on the SAME node:          {contended * 1e3:7.2f} ms")
+
+    tuned = iteration_time(
+        n_threads=12, comp_node=0, halo_node=1, overlap=True
+    )
+    print(f"3. overlap, halo on node 1, 12 cores:       {tuned * 1e3:7.2f} ms")
+
+    print()
+    print(f"overlap saves {(1 - contended / no_overlap) * 100:4.1f}% "
+          "even under contention;")
+    print(f"model-guided placement saves {(1 - tuned / no_overlap) * 100:4.1f}% "
+          "over the naive iteration.")
+    print()
+    print("Lesson (the paper's): overlap pays, but where the halo buffers")
+    print("live and how many cores compute decide how much of the network")
+    print("bandwidth survives the overlap.")
+
+
+if __name__ == "__main__":
+    main()

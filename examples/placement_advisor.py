@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Placement advisor: the paper's §VI future-work scenario.
+
+"Runtime systems could better know on which NUMA node store data and
+how many computing cores should be used to avoid memory contention."
+
+A task-based runtime (StarPU/PaRSEC-style) must schedule an iteration
+that writes 40 GB of computation data while receiving 6 GB of halo
+messages.  The advisor scores every (cores, m_comp, m_comm) choice with
+the calibrated model and explains the trade-off.
+
+Run:  python examples/placement_advisor.py
+"""
+
+from repro import SweepConfig, get_platform
+from repro.advisor import Advisor, Workload
+from repro.evaluation import run_platform_experiment
+from repro.units import GB
+
+
+def main() -> None:
+    platform = get_platform("henri")
+    experiment = run_platform_experiment(platform, config=SweepConfig(seed=7))
+    advisor = Advisor(experiment.model, platform.machine)
+
+    workload = Workload(comp_bytes=40 * GB, comm_bytes=6 * GB)
+    print(f"workload: {workload.comp_bytes / GB:.0f} GB computation writes, "
+          f"{workload.comm_bytes / GB:.0f} GB received messages\n")
+
+    print("Top configurations (model-predicted makespan):")
+    for i, rec in enumerate(advisor.recommend(workload, top=5), start=1):
+        print(f"  {i}. {rec.describe()}")
+
+    # Contrast with the 'naive' choices a runtime might make blindly.
+    print("\nNaive choices, for contrast:")
+    everything_local = advisor.score(workload, platform.cores_per_socket, 0, 0)
+    print(f"  all cores, everything on node 0 -> {everything_local.describe()}")
+    half_cores = advisor.score(workload, platform.cores_per_socket // 2, 0, 0)
+    print(f"  half the cores, same placement  -> {half_cores.describe()}")
+
+    best = advisor.best(workload)
+    gain = (everything_local.makespan_s / best.makespan_s - 1.0) * 100.0
+    print(f"\nbest configuration is {gain:.1f}% faster than "
+          f"'all cores, everything local'")
+
+    # The advisor refuses what the model cannot answer (§II-B).
+    try:
+        advisor.score(workload, platform.cores_per_socket + 4, 0, 0)
+    except Exception as exc:  # AdvisorError
+        print(f"\nasking for cores beyond one socket is refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: calibrate the contention model and predict a placement.
+
+This walks the paper's full §IV pipeline on the `henri` testbed
+platform in five steps:
+
+1. pick a platform (a simulated machine + its contention behaviour);
+2. run the benchmark suite on the two *sample* placements only;
+3. calibrate the model (equations 1-5 + 8, twice: local and remote);
+4. predict bandwidths for a placement that was never measured;
+5. check the prediction against a fresh measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SweepConfig, calibrate_placement_model, get_platform
+from repro.bench import run_sample_sweeps
+from repro.bench.runner import measure_curves
+from repro.evaluation import mape
+from repro.topology import render_text
+
+
+def main() -> None:
+    # 1. The machine: 2 x 18-core Xeon, 2 NUMA nodes, InfiniBand EDR.
+    platform = get_platform("henri")
+    print(render_text(platform.machine))
+    print()
+
+    # 2. Benchmark the two calibration placements (local/local on node 0
+    #    and remote/remote on node 1) across all core counts.
+    config = SweepConfig(seed=42)
+    dataset = run_sample_sweeps(platform, config=config)
+    print(f"measured {len(dataset.sweep)} sample placements, "
+          f"{dataset.sweep[(0, 0)].n_points} core counts each")
+
+    # 3. Calibrate: two parameter sets, one per locality class.
+    model = calibrate_placement_model(dataset, platform)
+    print(f"local  model: {model.local.summary()}")
+    print(f"remote model: {model.remote.summary()}")
+    print()
+
+    # 4. Predict a *cross* placement the model never saw: computation
+    #    data on node 0, communication data on node 1.
+    n_cores, m_comp, m_comm = 14, 0, 1
+    comp = model.comp_parallel(n_cores, m_comp, m_comm)
+    comm = model.comm_parallel(n_cores, m_comp, m_comm)
+    print(f"prediction for n={n_cores}, comp on node {m_comp}, "
+          f"comm on node {m_comm}:")
+    print(f"  computation   {comp:6.2f} GB/s")
+    print(f"  communication {comm:6.2f} GB/s")
+
+    # 5. Validate against a fresh measurement of that placement.
+    curves = measure_curves(
+        platform.machine, platform.profile,
+        m_comp=m_comp, m_comm=m_comm, config=config,
+    )
+    measured = curves.at(n_cores)
+    print("measured:")
+    print(f"  computation   {measured['comp_parallel']:6.2f} GB/s")
+    print(f"  communication {measured['comm_parallel']:6.2f} GB/s")
+
+    pred = model.predict(curves.core_counts, m_comp, m_comm)
+    print(f"\nfull-sweep error on this unseen placement: "
+          f"comm {mape(curves.comm_parallel, pred.comm_parallel):.2f} %, "
+          f"comp {mape(curves.comp_parallel, pred.comp_parallel):.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's full evaluation (§IV) in one run.
+
+Regenerates, for every testbed platform:
+
+* the benchmark curves of every placement (Figures 3-8 data),
+* the calibrated local/remote models,
+* Table I and Table II,
+* the Figure 2 stacked view,
+
+and writes everything under ``./paper_artifacts/``:
+
+* ``table1.txt`` / ``table2.txt``
+* ``fig2_points.txt``
+* ``figN_<platform>.csv`` — all measured + predicted series
+* ``figN_<platform>.svg`` / ``fig2_stacked.svg`` — rendered figures
+* ``EXPERIMENTS_generated.md`` — the paper-vs-measured report
+
+Run:  python examples/reproduce_paper.py  [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import SweepConfig
+from repro.core import stacked_view
+from repro.evaluation import (
+    render_table1,
+    render_table2,
+    run_all_experiments,
+)
+from repro.evaluation.experiments import EXPERIMENTS
+from repro.evaluation.figures import figure_series, series_to_csv
+from repro.evaluation.report import generate_experiments_report
+from repro.evaluation.svg import figure_svg, stacked_svg
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("paper_artifacts")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    config = SweepConfig(seed=1)
+
+    print("running the full evaluation on all 6 platforms...")
+    results = run_all_experiments(config=config)
+
+    # Tables.
+    (out_dir / "table1.txt").write_text(render_table1() + "\n")
+    table2 = render_table2(results)
+    (out_dir / "table2.txt").write_text(table2 + "\n")
+    print()
+    print(table2)
+    print()
+
+    # Figure 2: the stacked view of henri-subnuma's local model.
+    view = stacked_view(results["henri-subnuma"].model.local)
+    (out_dir / "fig2_stacked.svg").write_text(stacked_svg(view))
+    lines = ["Figure 2 annotated points (henri-subnuma local model):"]
+    lines += [
+        f"  {label}: n={x:.0f}, {y:.2f} GB/s"
+        for label, (x, y) in view.points.items()
+    ]
+    (out_dir / "fig2_points.txt").write_text("\n".join(lines) + "\n")
+
+    # Figures 3-8: CSV series per platform.
+    for spec in EXPERIMENTS.values():
+        if not spec.experiment_id.startswith("fig") or spec.experiment_id == "fig2":
+            continue
+        result = results[spec.platform_name]
+        csv_path = out_dir / f"{spec.experiment_id}_{spec.platform_name}.csv"
+        csv_path.write_text(series_to_csv(figure_series(result)))
+        svg_path = out_dir / f"{spec.experiment_id}_{spec.platform_name}.svg"
+        svg_path.write_text(figure_svg(result))
+        print(f"wrote {csv_path} "
+              f"({spec.paper_artefact}: {spec.platform_name}, "
+              f"avg error {result.errors.average:.2f} %)")
+
+    # The report.
+    report_path = out_dir / "EXPERIMENTS_generated.md"
+    report_path.write_text(generate_experiments_report(results))
+    print(f"\nwrote {report_path}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

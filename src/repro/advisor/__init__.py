@@ -1,0 +1,18 @@
+"""Placement advisor — the paper's future-work exploitation.
+
+"Runtime systems could better know on which NUMA node store data and
+how many computing cores should be used to avoid memory contention"
+(§VI).  Given a calibrated placement model, the advisor ranks
+``(n, m_comp, m_comm)`` choices for an overlapped workload.
+"""
+
+from repro.advisor.overlap import OverlapEstimate, estimate_overlap
+from repro.advisor.recommend import Advisor, Recommendation, Workload
+
+__all__ = [
+    "Advisor",
+    "OverlapEstimate",
+    "Recommendation",
+    "Workload",
+    "estimate_overlap",
+]

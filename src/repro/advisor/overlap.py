@@ -1,0 +1,120 @@
+"""Overlap-efficiency estimation.
+
+The paper's introduction motivates overlap by hoping communication cost
+"becomes basically free"; contention is what eats into that hope.  This
+module quantifies the gap for any configuration:
+
+* ``serial_s`` — run the phases back to back, each at its solo speed;
+* ``overlapped_s`` — run them together at the model's contended speeds;
+* ``savings`` — the time overlap actually recovers;
+* ``efficiency`` — savings relative to the best possible (fully hiding
+  the shorter phase): 1.0 means the shorter phase became free, 0.0
+  means overlap bought nothing, negative means contention made
+  overlapping *slower* than running serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.advisor.recommend import Workload
+from repro.core.placement import PlacementModel
+from repro.errors import AdvisorError
+
+__all__ = ["OverlapEstimate", "estimate_overlap"]
+
+
+@dataclass(frozen=True)
+class OverlapEstimate:
+    """Predicted outcome of overlapping one configuration."""
+
+    n_cores: int
+    m_comp: int
+    m_comm: int
+    comp_alone_s: float
+    comm_alone_s: float
+    overlapped_s: float
+
+    @property
+    def serial_s(self) -> float:
+        return self.comp_alone_s + self.comm_alone_s
+
+    @property
+    def savings_s(self) -> float:
+        return self.serial_s - self.overlapped_s
+
+    @property
+    def hideable_s(self) -> float:
+        """Best-case savings: the shorter phase fully hidden."""
+        return min(self.comp_alone_s, self.comm_alone_s)
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of the hideable time actually recovered."""
+        if self.hideable_s == 0.0:
+            return 1.0
+        return self.savings_s / self.hideable_s
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n_cores}, comp node {self.m_comp}, comm node "
+            f"{self.m_comm}: serial {self.serial_s * 1e3:.2f} ms -> "
+            f"overlapped {self.overlapped_s * 1e3:.2f} ms "
+            f"(efficiency {self.efficiency * 100:.0f} %)"
+        )
+
+
+def estimate_overlap(
+    model: PlacementModel,
+    workload: Workload,
+    *,
+    n_cores: int,
+    m_comp: int,
+    m_comm: int,
+) -> OverlapEstimate:
+    """Predict the benefit of overlapping ``workload`` in one configuration."""
+    if workload.comp_bytes <= 0 or workload.comm_bytes <= 0:
+        raise AdvisorError(
+            "overlap estimation needs both a computation and a "
+            "communication phase"
+        )
+    comp_alone_gbps = model.comp_alone(n_cores, m_comp)
+    comm_alone_gbps = model.comm_alone(m_comm)
+    comp_par_gbps = model.comp_parallel(n_cores, m_comp, m_comm)
+    comm_par_gbps = model.comm_parallel(n_cores, m_comp, m_comm)
+    for name, value in (
+        ("computation-alone", comp_alone_gbps),
+        ("communication-alone", comm_alone_gbps),
+        ("computation-overlapped", comp_par_gbps),
+        ("communication-overlapped", comm_par_gbps),
+    ):
+        if value <= 0:
+            raise AdvisorError(f"model predicts zero {name} bandwidth")
+
+    comp_alone_s = workload.comp_bytes / (comp_alone_gbps * 1e9)
+    comm_alone_s = workload.comm_bytes / (comm_alone_gbps * 1e9)
+    # During overlap both advance at contended speeds; when one side
+    # finishes, the other recovers its solo bandwidth for the rest
+    # (the Langguth-style phase accounting, §V, applied with the
+    # paper's contended steady-state rates).
+    comp_t_contended = workload.comp_bytes / (comp_par_gbps * 1e9)
+    comm_t_contended = workload.comm_bytes / (comm_par_gbps * 1e9)
+    first_end = min(comp_t_contended, comm_t_contended)
+    if comp_t_contended <= comm_t_contended:
+        # Computation done; remaining message bytes at solo speed.
+        done = comm_par_gbps * 1e9 * first_end
+        remaining = max(workload.comm_bytes - done, 0.0)
+        overlapped = first_end + remaining / (comm_alone_gbps * 1e9)
+    else:
+        done = comp_par_gbps * 1e9 * first_end
+        remaining = max(workload.comp_bytes - done, 0.0)
+        overlapped = first_end + remaining / (comp_alone_gbps * 1e9)
+
+    return OverlapEstimate(
+        n_cores=n_cores,
+        m_comp=m_comp,
+        m_comm=m_comm,
+        comp_alone_s=comp_alone_s,
+        comm_alone_s=comm_alone_s,
+        overlapped_s=overlapped,
+    )

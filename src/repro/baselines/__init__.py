@@ -1,0 +1,30 @@
+"""Baseline predictors the paper's model is compared against.
+
+The paper discusses alternatives in §II-D (queueing theory) and §V
+(related work, notably Langguth et al. [13]).  These baselines are
+calibrated from the *same* two sample placements as the paper's model
+and score against the same ground truth, so the ablation benchmark
+(``benchmarks/bench_baselines.py``) can show where the paper's extra
+structure (priority classes, minimum guarantee, two-slope total) pays
+off.
+
+* :mod:`repro.baselines.naive` — no-contention: everyone gets their
+  nominal bandwidth;
+* :mod:`repro.baselines.queueing` — processor-sharing queue:
+  demand-proportional split of the bus capacity, no priorities;
+* :mod:`repro.baselines.langguth` — thread-fair split in the spirit of
+  Langguth et al.: the communication thread counts as one more thread.
+"""
+
+from repro.baselines.base import BaselinePredictor, calibrate_baseline
+from repro.baselines.langguth import LangguthModel
+from repro.baselines.naive import NaiveModel
+from repro.baselines.queueing import QueueingModel
+
+__all__ = [
+    "BaselinePredictor",
+    "LangguthModel",
+    "NaiveModel",
+    "QueueingModel",
+    "calibrate_baseline",
+]

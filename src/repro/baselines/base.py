@@ -1,0 +1,90 @@
+"""Common scaffolding for baseline predictors."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.results import ModeCurves
+from repro.errors import ModelError
+
+__all__ = ["BaselineInputs", "BaselinePredictor", "calibrate_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineInputs:
+    """Minimal measurements every baseline calibrates from.
+
+    Deliberately a subset of the paper model's parameters: baselines
+    get the bus capacity, the per-core rate and the network nominal —
+    the quantities any of the §II-D / §V approaches would also need.
+    """
+
+    bus_capacity_gbps: float  # peak observed total bandwidth
+    b_comp_seq: float  # one core's bandwidth
+    b_comm_seq: float  # network nominal
+    t_seq_max: float  # computation-alone peak
+
+    def __post_init__(self) -> None:
+        for name in ("bus_capacity_gbps", "b_comp_seq", "b_comm_seq", "t_seq_max"):
+            if getattr(self, name) <= 0.0:
+                raise ModelError(f"{name} must be positive")
+
+
+def calibrate_baseline(curves: ModeCurves) -> BaselineInputs:
+    """Extract baseline inputs from one placement's curves."""
+    stacked = curves.total_parallel()
+    return BaselineInputs(
+        bus_capacity_gbps=float(np.max(stacked)),
+        b_comp_seq=float(curves.comp_alone[0]) / int(curves.core_counts[0]),
+        b_comm_seq=float(np.median(curves.comm_alone)),
+        t_seq_max=float(np.max(curves.comp_alone)),
+    )
+
+
+class BaselinePredictor(abc.ABC):
+    """Predicts the same three curves as the paper's model."""
+
+    def __init__(self, inputs: BaselineInputs) -> None:
+        self._in = inputs
+
+    @property
+    def inputs(self) -> BaselineInputs:
+        return self._in
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in reports."""
+
+    @abc.abstractmethod
+    def comp_parallel(self, n: int) -> float:
+        """Computation bandwidth with communications running."""
+
+    @abc.abstractmethod
+    def comm_parallel(self, n: int) -> float:
+        """Communication bandwidth with ``n`` cores computing."""
+
+    def comp_alone(self, n: int) -> float:
+        """Computation-alone bandwidth (shared by all baselines)."""
+        self._check_n(n)
+        if n == 0:
+            return 0.0
+        return min(n * self._in.b_comp_seq, self._in.t_seq_max)
+
+    def sweep(self, core_counts: "np.ndarray | list[int]") -> dict[str, np.ndarray]:
+        ns = np.asarray(core_counts, dtype=int)
+        if ns.ndim != 1 or ns.size == 0:
+            raise ModelError("core_counts must be a non-empty 1-D sequence")
+        return {
+            "comp_par": np.array([self.comp_parallel(int(n)) for n in ns]),
+            "comm_par": np.array([self.comm_parallel(int(n)) for n in ns]),
+            "comp_alone": np.array([self.comp_alone(int(n)) for n in ns]),
+        }
+
+    @staticmethod
+    def _check_n(n: int) -> None:
+        if n < 0:
+            raise ModelError(f"core count must be >= 0, got {n}")

@@ -1,0 +1,49 @@
+"""Thread-fair baseline in the spirit of Langguth et al. [13].
+
+Langguth, Cai and Sourouri model memory-bandwidth sharing between
+*communicating and computing threads*: during the overlap period the
+bus is shared per thread; once one side finishes, the other recovers
+the full bandwidth.  The paper contrasts itself with this approach by
+modelling steady-state bandwidths with data placement and priority
+classes instead of durations.
+
+For steady state, the thread-fair rule becomes: the communication
+thread counts as one more thread among ``n`` computing threads, each
+entitled to an equal slice of the bus when it saturates — unused
+entitlement redistributes (max-min fairness with equal weights).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePredictor
+from repro.memsim.policies import waterfill
+
+__all__ = ["LangguthModel"]
+
+
+class LangguthModel(BaselinePredictor):
+    """Equal-per-thread (max-min) sharing of the bus capacity."""
+
+    @property
+    def name(self) -> str:
+        return "langguth-threadfair"
+
+    def _shares(self, n: int) -> tuple[float, float]:
+        capacity = self._in.bus_capacity_gbps
+        per_core = self._in.b_comp_seq
+        demands = [per_core] * n + [self._in.b_comm_seq]
+        shares = waterfill(demands, capacity)
+        comp = sum(shares[:n])
+        comm = shares[n]
+        # Computation-alone ceiling still applies.
+        return min(comp, self._in.t_seq_max), comm
+
+    def comp_parallel(self, n: int) -> float:
+        self._check_n(n)
+        if n == 0:
+            return 0.0
+        return self._shares(n)[0]
+
+    def comm_parallel(self, n: int) -> float:
+        self._check_n(n)
+        return self._shares(n)[1]

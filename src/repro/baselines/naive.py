@@ -1,0 +1,29 @@
+"""No-contention baseline.
+
+What every performance model implicitly assumes when it ignores the
+memory system: computations scale to their solo peak and communications
+always run at the network nominal.  The gap between this baseline and
+the ground truth *is* the contention the paper measures.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePredictor
+
+__all__ = ["NaiveModel"]
+
+
+class NaiveModel(BaselinePredictor):
+    """Assumes computations and communications never interfere."""
+
+    @property
+    def name(self) -> str:
+        return "naive"
+
+    def comp_parallel(self, n: int) -> float:
+        self._check_n(n)
+        return self.comp_alone(n)
+
+    def comm_parallel(self, n: int) -> float:
+        self._check_n(n)
+        return self._in.b_comm_seq

@@ -1,0 +1,45 @@
+"""Processor-sharing queueing baseline (§II-D).
+
+The paper argues queueing theory is a poor fit for this problem: the
+memory hierarchy would need one queue per component, the parameters
+lack physical meaning, and heterogeneous request rates (a NIC issues
+requests several times faster than a core) break the closed forms.
+This baseline implements the honest single-queue version anyway: the
+memory bus is one processor-sharing server of capacity ``C``; when the
+offered load exceeds it, every customer gets a share proportional to
+its demand — no priorities, no minimum guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselinePredictor
+
+__all__ = ["QueueingModel"]
+
+
+class QueueingModel(BaselinePredictor):
+    """Single processor-sharing queue over the memory bus."""
+
+    @property
+    def name(self) -> str:
+        return "queueing-ps"
+
+    def _shares(self, n: int) -> tuple[float, float]:
+        comp_demand = min(n * self._in.b_comp_seq, self._in.t_seq_max)
+        comm_demand = self._in.b_comm_seq
+        total = comp_demand + comm_demand
+        capacity = self._in.bus_capacity_gbps
+        if total <= capacity or total == 0.0:
+            return comp_demand, comm_demand
+        scale = capacity / total
+        return comp_demand * scale, comm_demand * scale
+
+    def comp_parallel(self, n: int) -> float:
+        self._check_n(n)
+        if n == 0:
+            return 0.0
+        return self._shares(n)[0]
+
+    def comm_parallel(self, n: int) -> float:
+        self._check_n(n)
+        return self._shares(n)[1]

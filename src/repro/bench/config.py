@@ -1,0 +1,48 @@
+"""Benchmark sweep configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BenchmarkError
+from repro.units import MB, MiB
+
+__all__ = ["SweepConfig"]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Configuration of one benchmark sweep.
+
+    Defaults follow the paper: 64 MB messages ("communication
+    performances are measured with the bandwidth observed to receive
+    messages of 64 MB"), weak scaling with a fixed working set per core,
+    one dedicated communication core, threads bound to physical cores.
+    """
+
+    #: Message size received from the peer machine (bytes).
+    message_bytes: int = 64 * MB
+    #: Working set written by each computing core (bytes, weak scaling).
+    bytes_per_core: int = 512 * MiB
+    #: Measurement noise seed (see :class:`repro.memsim.NoiseModel`).
+    seed: int = 0
+    #: Disable measurement noise entirely (exact steady-state values).
+    noiseless: bool = False
+    #: Use the event-driven engine instead of the steady-state solver.
+    #: Slower, but measures bandwidths from actual transfer durations —
+    #: the paper's methodology — including edge effects when flows do
+    #: not finish simultaneously.
+    use_engine: bool = False
+    #: Repetitions per measurement point (median is reported), mimicking
+    #: the paper's repeated runs.  Only meaningful with noise enabled.
+    repetitions: int = 1
+    #: Extra metadata recorded alongside results.
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.message_bytes <= 0:
+            raise BenchmarkError("message_bytes must be positive")
+        if self.bytes_per_core <= 0:
+            raise BenchmarkError("bytes_per_core must be positive")
+        if self.repetitions < 1:
+            raise BenchmarkError("repetitions must be >= 1")

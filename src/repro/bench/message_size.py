@@ -1,0 +1,120 @@
+"""Message-size study: the third contention factor.
+
+The paper's prior work ([1], recalled in §I) identifies three factors
+driving contention: data placement, arithmetic intensity of the
+kernel, and **message size** — "big messages are exchanged (thus
+moving big messages through memory buses)" maximise it, which is why
+the calibration uses 64 MB messages (§IV-C1 then scopes the model's
+validity to that choice).
+
+This module quantifies the message-size axis on the simulated testbed:
+small messages cannot sustain the NIC's line rate (per-message fabric
+latency and the rendezvous handshake dominate), so their *effective*
+demand on the memory system is lower and the contention they suffer
+and cause shrinks accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.memsim.scenario import Scenario, solve_scenario
+from repro.net.fabric import Fabric, fabric_for
+from repro.net.protocol import RendezvousConfig, select_protocol
+from repro.topology.platforms import Platform
+
+__all__ = [
+    "effective_message_bandwidth",
+    "MessageSizePoint",
+    "message_size_contention",
+]
+
+
+def effective_message_bandwidth(
+    nbytes: int,
+    *,
+    fabric: Fabric,
+    rendezvous: RendezvousConfig | None = None,
+) -> float:
+    """Sustained bandwidth of back-to-back ``nbytes`` messages (GB/s).
+
+    Each message pays the fabric latency plus (above the eager
+    threshold) the rendezvous handshake; the payload then moves at the
+    line rate.  For 64 MB messages the overhead is negligible — the
+    paper's choice; at a few KiB it dominates.
+    """
+    if nbytes <= 0:
+        raise BenchmarkError(f"nbytes must be positive, got {nbytes}")
+    rendezvous = rendezvous or RendezvousConfig()
+    protocol = select_protocol(nbytes, rendezvous)
+    per_message = (
+        fabric.wire_time(nbytes) + rendezvous.startup_delay(protocol)
+    )
+    return nbytes / 1e9 / per_message
+
+
+@dataclass(frozen=True)
+class MessageSizePoint:
+    """Contention outcome at one message size."""
+
+    nbytes: int
+    effective_demand_gbps: float
+    comm_parallel_gbps: float
+    comp_parallel_gbps: float
+    comp_alone_gbps: float
+
+    @property
+    def comp_retained(self) -> float:
+        if self.comp_alone_gbps == 0.0:
+            return 1.0
+        return self.comp_parallel_gbps / self.comp_alone_gbps
+
+    @property
+    def comm_retained(self) -> float:
+        if self.effective_demand_gbps == 0.0:
+            return 1.0
+        return self.comm_parallel_gbps / self.effective_demand_gbps
+
+
+def message_size_contention(
+    platform: Platform,
+    *,
+    sizes: "list[int] | np.ndarray",
+    n_cores: int,
+    m_comp: int = 0,
+    m_comm: int = 0,
+    fabric: Fabric | None = None,
+    rendezvous: RendezvousConfig | None = None,
+) -> list[MessageSizePoint]:
+    """Measure overlapped contention across message sizes."""
+    sizes = list(sizes)
+    if not sizes:
+        raise BenchmarkError("sizes must be non-empty")
+    fabric = fabric or fabric_for(platform.machine.nic.name)
+
+    alone = solve_scenario(
+        platform.machine, platform.profile, Scenario(n_cores, m_comp, None)
+    )
+    points: list[MessageSizePoint] = []
+    for nbytes in sizes:
+        demand = effective_message_bandwidth(
+            nbytes, fabric=fabric, rendezvous=rendezvous
+        )
+        parallel = solve_scenario(
+            platform.machine,
+            platform.profile,
+            Scenario(n_cores, m_comp, m_comm, comm_demand_gbps=demand),
+        )
+        points.append(
+            MessageSizePoint(
+                nbytes=int(nbytes),
+                effective_demand_gbps=demand,
+                comm_parallel_gbps=parallel.comm_gbps,
+                comp_parallel_gbps=parallel.comp_total_gbps,
+                comp_alone_gbps=alone.comp_total_gbps,
+            )
+        )
+    return points

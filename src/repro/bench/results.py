@@ -1,0 +1,209 @@
+"""Benchmark result containers.
+
+The data model mirrors the paper's figures:
+
+* :class:`ModeCurves` — one subplot: the four bandwidth curves
+  (computation alone / in parallel, communication alone / in parallel)
+  over the number of computing cores, for one placement;
+* :class:`PlacementSweep` — the full grid of subplots of one platform
+  (every ``(m_comp, m_comm)`` combination);
+* :class:`PlatformDataset` — a sweep plus its provenance (platform
+  name, configuration), with CSV round-trip for archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+
+__all__ = ["PlacementKey", "ModeCurves", "PlacementSweep", "PlatformDataset"]
+
+#: ``(m_comp, m_comm)`` — NUMA nodes of computation and communication data.
+PlacementKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ModeCurves:
+    """Measured bandwidth curves for one placement.
+
+    All arrays are indexed by position in ``core_counts``.
+    ``comm_alone`` is measured once per core count too (the paper's
+    harness re-measures it in every step), hence an array.
+    """
+
+    core_counts: np.ndarray
+    comp_alone: np.ndarray
+    comm_alone: np.ndarray
+    comp_parallel: np.ndarray
+    comm_parallel: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "core_counts": self.core_counts,
+            "comp_alone": self.comp_alone,
+            "comm_alone": self.comm_alone,
+            "comp_parallel": self.comp_parallel,
+            "comm_parallel": self.comm_parallel,
+        }
+        length = None
+        for name, arr in arrays.items():
+            if not isinstance(arr, np.ndarray):
+                raise BenchmarkError(f"{name} must be a numpy array")
+            if arr.ndim != 1:
+                raise BenchmarkError(f"{name} must be 1-D, got shape {arr.shape}")
+            if length is None:
+                length = arr.size
+            elif arr.size != length:
+                raise BenchmarkError(
+                    f"curve arrays must share a length: {name} has {arr.size}, "
+                    f"expected {length}"
+                )
+        if length == 0:
+            raise BenchmarkError("curves must contain at least one point")
+        if not np.all(np.diff(self.core_counts) > 0):
+            raise BenchmarkError("core_counts must be strictly increasing")
+        if self.core_counts[0] < 1:
+            raise BenchmarkError("core_counts must start at >= 1")
+        for name in ("comp_alone", "comm_alone", "comp_parallel", "comm_parallel"):
+            if np.any(arrays[name] < 0):
+                raise BenchmarkError(f"{name} contains negative bandwidths")
+
+    @property
+    def n_points(self) -> int:
+        return int(self.core_counts.size)
+
+    def total_parallel(self) -> np.ndarray:
+        """Stacked total bandwidth (computation + communication in parallel)."""
+        return self.comp_parallel + self.comm_parallel
+
+    def at(self, n_cores: int) -> dict[str, float]:
+        """All four measurements at one core count."""
+        idx = np.flatnonzero(self.core_counts == n_cores)
+        if idx.size == 0:
+            raise BenchmarkError(
+                f"no measurement at {n_cores} cores "
+                f"(have {self.core_counts.tolist()})"
+            )
+        i = int(idx[0])
+        return {
+            "comp_alone": float(self.comp_alone[i]),
+            "comm_alone": float(self.comm_alone[i]),
+            "comp_parallel": float(self.comp_parallel[i]),
+            "comm_parallel": float(self.comm_parallel[i]),
+        }
+
+
+@dataclass(frozen=True)
+class PlacementSweep:
+    """Curves for every measured placement of one platform."""
+
+    curves: Mapping[PlacementKey, ModeCurves]
+
+    def __post_init__(self) -> None:
+        if not self.curves:
+            raise BenchmarkError("a placement sweep needs at least one placement")
+
+    def __getitem__(self, key: PlacementKey) -> ModeCurves:
+        try:
+            return self.curves[key]
+        except KeyError:
+            raise BenchmarkError(
+                f"no curves for placement {key}; "
+                f"measured: {sorted(self.curves)}"
+            ) from None
+
+    def __contains__(self, key: PlacementKey) -> bool:
+        return key in self.curves
+
+    def __iter__(self) -> Iterator[PlacementKey]:
+        return iter(sorted(self.curves))
+
+    def __len__(self) -> int:
+        return len(self.curves)
+
+    def placements(self) -> tuple[PlacementKey, ...]:
+        return tuple(sorted(self.curves))
+
+
+@dataclass(frozen=True)
+class PlatformDataset:
+    """A placement sweep plus provenance."""
+
+    platform_name: str
+    sweep: PlacementSweep
+    config: Mapping[str, object] = field(default_factory=dict)
+
+    # ---- CSV round-trip --------------------------------------------------------
+
+    _FIELDS = (
+        "platform",
+        "m_comp",
+        "m_comm",
+        "n_cores",
+        "comp_alone",
+        "comm_alone",
+        "comp_parallel",
+        "comm_parallel",
+    )
+
+    def to_csv(self) -> str:
+        """Serialise all curves to CSV (one row per core count per placement)."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(self._FIELDS)
+        for key in self.sweep:
+            curves = self.sweep[key]
+            for i in range(curves.n_points):
+                writer.writerow(
+                    [
+                        self.platform_name,
+                        key[0],
+                        key[1],
+                        int(curves.core_counts[i]),
+                        f"{curves.comp_alone[i]:.6f}",
+                        f"{curves.comm_alone[i]:.6f}",
+                        f"{curves.comp_parallel[i]:.6f}",
+                        f"{curves.comm_parallel[i]:.6f}",
+                    ]
+                )
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "PlatformDataset":
+        """Parse a dataset serialised by :meth:`to_csv`."""
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None or tuple(reader.fieldnames) != cls._FIELDS:
+            raise BenchmarkError(
+                f"unexpected CSV header {reader.fieldnames}; expected {cls._FIELDS}"
+            )
+        rows_by_key: dict[PlacementKey, list[dict[str, str]]] = {}
+        platform = None
+        for row in reader:
+            if platform is None:
+                platform = row["platform"]
+            elif platform != row["platform"]:
+                raise BenchmarkError(
+                    f"mixed platforms in CSV: {platform!r} and {row['platform']!r}"
+                )
+            key = (int(row["m_comp"]), int(row["m_comm"]))
+            rows_by_key.setdefault(key, []).append(row)
+        if platform is None:
+            raise BenchmarkError("CSV contains no data rows")
+
+        curves: dict[PlacementKey, ModeCurves] = {}
+        for key, rows in rows_by_key.items():
+            rows.sort(key=lambda r: int(r["n_cores"]))
+            curves[key] = ModeCurves(
+                core_counts=np.array([int(r["n_cores"]) for r in rows]),
+                comp_alone=np.array([float(r["comp_alone"]) for r in rows]),
+                comm_alone=np.array([float(r["comm_alone"]) for r in rows]),
+                comp_parallel=np.array([float(r["comp_parallel"]) for r in rows]),
+                comm_parallel=np.array([float(r["comm_parallel"]) for r in rows]),
+            )
+        return cls(platform_name=platform, sweep=PlacementSweep(curves=curves))

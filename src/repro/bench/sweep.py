@@ -1,0 +1,86 @@
+"""Full placement-grid sweeps for one platform.
+
+The paper measures two placements to *calibrate* (local/local and
+remote/remote on the first nodes of each socket) and all ``k × k``
+placements to *evaluate*.  :func:`run_sample_sweeps` produces the
+former, :func:`run_placement_grid` the latter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bench.config import SweepConfig
+from repro.bench.results import ModeCurves, PlacementKey, PlacementSweep, PlatformDataset
+from repro.bench.runner import measure_curves, measure_curves_engine
+from repro.topology.platforms import Platform
+
+__all__ = ["run_placement_grid", "run_sample_sweeps", "sample_placements"]
+
+
+def sample_placements(platform: Platform) -> tuple[PlacementKey, PlacementKey]:
+    """The two calibration placements of §IV-A2.
+
+    Local model: computation and communication data both on the first
+    NUMA node of the first socket.  Remote model: both on the first
+    NUMA node of the second socket.
+    """
+    local = platform.sample_local_node()
+    remote = platform.sample_remote_node()
+    return (local, local), (remote, remote)
+
+
+def _runner(config: SweepConfig) -> Callable[..., ModeCurves]:
+    return measure_curves_engine if config.use_engine else measure_curves
+
+
+def run_sample_sweeps(
+    platform: Platform,
+    *,
+    config: SweepConfig | None = None,
+    core_counts: Sequence[int] | None = None,
+) -> PlatformDataset:
+    """Measure only the two calibration placements."""
+    config = config or SweepConfig()
+    run = _runner(config)
+    curves = {}
+    for key in sample_placements(platform):
+        curves[key] = run(
+            platform.machine,
+            platform.profile,
+            m_comp=key[0],
+            m_comm=key[1],
+            config=config,
+            core_counts=core_counts,
+        )
+    return PlatformDataset(
+        platform_name=platform.name,
+        sweep=PlacementSweep(curves=curves),
+        config={"samples_only": True, **config.labels},
+    )
+
+
+def run_placement_grid(
+    platform: Platform,
+    *,
+    config: SweepConfig | None = None,
+    core_counts: Sequence[int] | None = None,
+) -> PlatformDataset:
+    """Measure every ``(m_comp, m_comm)`` placement combination."""
+    config = config or SweepConfig()
+    run = _runner(config)
+    curves = {}
+    for m_comp, m_comm in platform.machine.placements():
+        curves[(m_comp, m_comm)] = run(
+            platform.machine,
+            platform.profile,
+            m_comp=m_comp,
+            m_comm=m_comm,
+            config=config,
+            core_counts=core_counts,
+        )
+    return PlatformDataset(
+        platform_name=platform.name,
+        sweep=PlacementSweep(curves=curves),
+        config={"samples_only": False, **config.labels},
+    )

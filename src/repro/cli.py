@@ -1,0 +1,442 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``platforms``
+    List the testbed platforms (Table I).
+``topo <platform>``
+    Render a platform's topology tree.
+``sweep <platform> [--placement MC MM] [--csv PATH]``
+    Run the benchmark sweep and print/export the curves.
+``calibrate <platform>``
+    Print the calibrated local/remote model parameters.
+``predict <platform> -n N --comp MC --comm MM``
+    Predict bandwidths for one configuration.
+``figure <figN>``
+    Regenerate a paper figure as ASCII (and optionally CSV).
+``table1`` / ``table2``
+    Regenerate the paper tables.
+``advise <platform> --comp-bytes B --comm-bytes B``
+    Recommend core count and placement for an overlapped workload.
+``overlap <platform> -n N --comp MC --comm MM --comp-bytes B --comm-bytes B``
+    Estimate the overlap efficiency of one configuration.
+``bottleneck <platform> -n N --comp MC --comm MM``
+    Locate the contention bottleneck of one scenario.
+``sensitivity <platform>``
+    Rank model parameters by their influence on the predictions.
+``diagnose <platform>``
+    Model-limits diagnosis: where and why the model errs (§IV-C1).
+``intensity <platform> [-n N]``
+    Contention versus kernel arithmetic intensity.
+``export-platform <platform> --output PATH``
+    Save a platform description (topology + contention profile) as JSON.
+``check``
+    Run all platforms and verify the structural Table II claims.
+``report [--output PATH]``
+    Generate the full EXPERIMENTS.md report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.advisor import Advisor, Workload
+from repro.bench import SweepConfig, run_placement_grid
+from repro.bench.runner import measure_curves
+from repro.core import calibrate_placement_model
+from repro.errors import ReproError
+from repro.evaluation import (
+    EXPERIMENTS,
+    render_table1,
+    render_table2,
+    run_all_experiments,
+    run_platform_experiment,
+)
+from repro.evaluation.figures import (
+    figure_series,
+    render_figure_ascii,
+    series_to_csv,
+)
+from repro.evaluation.experiments import figure_platform
+from repro.evaluation.report import generate_experiments_report
+from repro.topology import get_platform, platform_names, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="memcontend",
+        description=(
+            "Reproduction of 'Modeling Memory Contention between "
+            "Communications and Computations in Distributed HPC Systems' "
+            "(IPDPS-W 2022)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list testbed platforms")
+
+    p_topo = sub.add_parser("topo", help="render a platform topology")
+    p_topo.add_argument("platform", choices=platform_names())
+
+    p_sweep = sub.add_parser("sweep", help="run the benchmark sweep")
+    p_sweep.add_argument("platform", choices=platform_names())
+    p_sweep.add_argument(
+        "--placement",
+        nargs=2,
+        type=int,
+        metavar=("M_COMP", "M_COMM"),
+        help="single placement (defaults to the full grid)",
+    )
+    p_sweep.add_argument("--csv", type=Path, help="write curves to CSV")
+
+    p_cal = sub.add_parser("calibrate", help="print calibrated parameters")
+    p_cal.add_argument("platform", choices=platform_names())
+
+    p_pred = sub.add_parser("predict", help="predict one configuration")
+    p_pred.add_argument("platform", choices=platform_names())
+    p_pred.add_argument("-n", "--cores", type=int, required=True)
+    p_pred.add_argument("--comp", type=int, required=True, metavar="M_COMP")
+    p_pred.add_argument("--comm", type=int, required=True, metavar="M_COMM")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument(
+        "figure_id",
+        choices=[k for k in EXPERIMENTS if k.startswith("fig")],
+    )
+    p_fig.add_argument("--csv", type=Path, help="write figure series to CSV")
+    p_fig.add_argument("--svg", type=Path, help="render the figure to an SVG file")
+
+    sub.add_parser("table1", help="regenerate Table I")
+    sub.add_parser("table2", help="regenerate Table II")
+
+    p_adv = sub.add_parser("advise", help="recommend cores and placement")
+    p_adv.add_argument("platform", choices=platform_names())
+    p_adv.add_argument("--comp-bytes", type=float, required=True)
+    p_adv.add_argument("--comm-bytes", type=float, required=True)
+    p_adv.add_argument("--top", type=int, default=5)
+
+    p_ovl = sub.add_parser("overlap", help="estimate overlap efficiency")
+    p_ovl.add_argument("platform", choices=platform_names())
+    p_ovl.add_argument("-n", "--cores", type=int, required=True)
+    p_ovl.add_argument("--comp", type=int, required=True, metavar="M_COMP")
+    p_ovl.add_argument("--comm", type=int, required=True, metavar="M_COMM")
+    p_ovl.add_argument("--comp-bytes", type=float, required=True)
+    p_ovl.add_argument("--comm-bytes", type=float, required=True)
+
+    p_bot = sub.add_parser("bottleneck", help="locate the contention bottleneck")
+    p_bot.add_argument("platform", choices=platform_names())
+    p_bot.add_argument("-n", "--cores", type=int, required=True)
+    p_bot.add_argument("--comp", type=int, required=True, metavar="M_COMP")
+    p_bot.add_argument("--comm", type=int, required=True, metavar="M_COMM")
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="rank parameters by prediction influence"
+    )
+    p_sens.add_argument("platform", choices=platform_names())
+
+    p_diag = sub.add_parser(
+        "diagnose", help="model-limits diagnosis for a platform"
+    )
+    p_diag.add_argument("platform", choices=platform_names())
+
+    p_int = sub.add_parser(
+        "intensity", help="contention vs kernel arithmetic intensity"
+    )
+    p_int.add_argument("platform", choices=platform_names())
+    p_int.add_argument("-n", "--cores", type=int, default=None)
+
+    p_exp = sub.add_parser(
+        "export-platform", help="save a platform description as JSON"
+    )
+    p_exp.add_argument("platform", choices=platform_names())
+    p_exp.add_argument("--output", type=Path, help="write to file instead of stdout")
+
+    sub.add_parser("check", help="verify structural claims vs the paper")
+
+    p_rep = sub.add_parser("report", help="generate EXPERIMENTS.md")
+    p_rep.add_argument("--output", type=Path, help="write to file instead of stdout")
+
+    return parser
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> str:
+    return render_table1()
+
+
+def _cmd_topo(args: argparse.Namespace) -> str:
+    return render_text(get_platform(args.platform).machine)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    platform = get_platform(args.platform)
+    config = SweepConfig(seed=args.seed)
+    if args.placement:
+        m_comp, m_comm = args.placement
+        curves = measure_curves(
+            platform.machine,
+            platform.profile,
+            m_comp=m_comp,
+            m_comm=m_comm,
+            config=config,
+        )
+        lines = [
+            f"{'n':>3} {'comp_alone':>11} {'comm_alone':>11} "
+            f"{'comp_par':>9} {'comm_par':>9}"
+        ]
+        for i, n in enumerate(curves.core_counts):
+            lines.append(
+                f"{int(n):>3} {curves.comp_alone[i]:>11.2f} "
+                f"{curves.comm_alone[i]:>11.2f} {curves.comp_parallel[i]:>9.2f} "
+                f"{curves.comm_parallel[i]:>9.2f}"
+            )
+        return "\n".join(lines)
+    dataset = run_placement_grid(platform, config=config)
+    if args.csv:
+        args.csv.write_text(dataset.to_csv())
+        return f"wrote {args.csv}"
+    return dataset.to_csv()
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> str:
+    platform = get_platform(args.platform)
+    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    return (
+        f"platform {platform.name}\n"
+        f"local : {result.model.local.summary()}\n"
+        f"remote: {result.model.remote.summary()}"
+    )
+
+
+def _cmd_predict(args: argparse.Namespace) -> str:
+    platform = get_platform(args.platform)
+    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    model = result.model
+    comp = model.comp_parallel(args.cores, args.comp, args.comm)
+    comm = model.comm_parallel(args.cores, args.comp, args.comm)
+    alone = model.comp_alone(args.cores, args.comp)
+    return (
+        f"{platform.name}: n={args.cores}, comp data on node {args.comp}, "
+        f"comm data on node {args.comm}\n"
+        f"  predicted computation bandwidth (overlapped): {comp:.2f} GB/s\n"
+        f"  predicted communication bandwidth (overlapped): {comm:.2f} GB/s\n"
+        f"  predicted computation bandwidth (alone): {alone:.2f} GB/s"
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    if args.figure_id == "fig2":
+        result = run_platform_experiment(
+            "henri-subnuma", config=SweepConfig(seed=args.seed)
+        )
+        from repro.evaluation.figures import ascii_chart, stacked_figure
+
+        view = stacked_figure(result)
+        chart = ascii_chart(
+            view.core_counts,
+            {
+                "comp_par": view.comp_parallel,
+                "stacked_total": view.stacked_top(),
+                "comp_alone": view.comp_alone,
+            },
+            title="Figure 2 — stacked memory bandwidth (model view)",
+        )
+        points = "\n".join(
+            f"  {label}: n={x:.0f}, {y:.1f} GB/s"
+            for label, (x, y) in view.points.items()
+        )
+        return chart + "\nAnnotated points:\n" + points
+    platform_name = figure_platform(args.figure_id)
+    result = run_platform_experiment(platform_name, config=SweepConfig(seed=args.seed))
+    if args.csv:
+        args.csv.write_text(series_to_csv(figure_series(result)))
+        return f"wrote {args.csv}"
+    if args.svg:
+        from repro.evaluation.svg import figure_svg
+
+        args.svg.write_text(figure_svg(result))
+        return f"wrote {args.svg}"
+    return render_figure_ascii(result)
+
+
+def _cmd_table1(_args: argparse.Namespace) -> str:
+    return render_table1()
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    results = run_all_experiments(config=SweepConfig(seed=args.seed))
+    return render_table2(results)
+
+
+def _cmd_advise(args: argparse.Namespace) -> str:
+    platform = get_platform(args.platform)
+    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    advisor = Advisor(result.model, platform.machine)
+    workload = Workload(comp_bytes=args.comp_bytes, comm_bytes=args.comm_bytes)
+    recs = advisor.recommend(workload, top=args.top)
+    lines = [f"Top {len(recs)} configurations for {platform.name}:"]
+    lines += [f"  {i + 1}. {rec.describe()}" for i, rec in enumerate(recs)]
+    return "\n".join(lines)
+
+
+def _cmd_overlap(args: argparse.Namespace) -> str:
+    from repro.advisor import Workload, estimate_overlap
+
+    platform = get_platform(args.platform)
+    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    estimate = estimate_overlap(
+        result.model,
+        Workload(comp_bytes=args.comp_bytes, comm_bytes=args.comm_bytes),
+        n_cores=args.cores,
+        m_comp=args.comp,
+        m_comm=args.comm,
+    )
+    return (
+        f"{platform.name}: {estimate.describe()}\n"
+        f"  computation alone  {estimate.comp_alone_s * 1e3:8.2f} ms\n"
+        f"  communication alone{estimate.comm_alone_s * 1e3:8.2f} ms\n"
+        f"  serial             {estimate.serial_s * 1e3:8.2f} ms\n"
+        f"  overlapped         {estimate.overlapped_s * 1e3:8.2f} ms\n"
+        f"  savings            {estimate.savings_s * 1e3:8.2f} ms "
+        f"({estimate.efficiency * 100:.0f} % of the hideable time)"
+    )
+
+
+def _cmd_bottleneck(args: argparse.Namespace) -> str:
+    from repro.memsim import Scenario, bottleneck_report, solve_scenario
+
+    platform = get_platform(args.platform)
+    result = solve_scenario(
+        platform.machine,
+        platform.profile,
+        Scenario(args.cores, args.comp, args.comm),
+    )
+    return bottleneck_report(result)
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from repro.core import parameter_sensitivity
+
+    platform = get_platform(args.platform)
+    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    ns = np.arange(1, platform.cores_per_socket + 1)
+    sensitivity = parameter_sensitivity(result.model.local, core_counts=ns)
+    lines = [
+        f"{platform.name}: prediction sensitivity to a "
+        f"{sensitivity.relative_step * 100:.0f} % parameter perturbation",
+        f"{'parameter':<12} {'comm curve':>11} {'comp curve':>11}",
+    ]
+    for name, comm_value in sensitivity.ranked(curve="comm"):
+        comp_value = sensitivity.comp_sensitivity[name]
+        lines.append(
+            f"{name:<12} {comm_value * 100:>10.2f}% {comp_value * 100:>10.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> str:
+    from repro.evaluation import render_diagnosis
+
+    result = run_platform_experiment(
+        args.platform, config=SweepConfig(seed=args.seed)
+    )
+    return render_diagnosis(result)
+
+
+def _cmd_intensity(args: argparse.Namespace) -> str:
+    from repro.kernels import intensity_sweep
+
+    platform = get_platform(args.platform)
+    n = args.cores if args.cores is not None else platform.cores_per_socket
+    points = intensity_sweep(
+        platform,
+        intensities=[0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        n_cores=n,
+    )
+    lines = [
+        f"{platform.name}: contention vs arithmetic intensity ({n} cores, "
+        "local/local placement)",
+        f"{'flops/byte':>10} {'core GB/s':>10} {'comm kept':>10} {'comp kept':>10}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.intensity_flops_per_byte:>10.2f} "
+            f"{p.per_core_demand_gbps:>10.2f} "
+            f"{p.comm_retained * 100:>9.1f}% "
+            f"{p.comp_retained * 100:>9.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_export_platform(args: argparse.Namespace) -> str:
+    from repro.topology import platform_to_json
+
+    text = platform_to_json(get_platform(args.platform))
+    if args.output:
+        args.output.write_text(text)
+        return f"wrote {args.output}"
+    return text
+
+
+def _cmd_check(args: argparse.Namespace) -> str:
+    from repro.evaluation.compare import render_comparison
+
+    results = run_all_experiments(config=SweepConfig(seed=args.seed))
+    return render_comparison(results)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    results = run_all_experiments(config=SweepConfig(seed=args.seed))
+    report = generate_experiments_report(results)
+    if args.output:
+        args.output.write_text(report)
+        return f"wrote {args.output}"
+    return report
+
+
+_COMMANDS = {
+    "platforms": _cmd_platforms,
+    "topo": _cmd_topo,
+    "sweep": _cmd_sweep,
+    "calibrate": _cmd_calibrate,
+    "predict": _cmd_predict,
+    "figure": _cmd_figure,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "advise": _cmd_advise,
+    "overlap": _cmd_overlap,
+    "bottleneck": _cmd_bottleneck,
+    "sensitivity": _cmd_sensitivity,
+    "diagnose": _cmd_diagnose,
+    "intensity": _cmd_intensity,
+    "export-platform": _cmd_export_platform,
+    "check": _cmd_check,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(output)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the memory-contention model.
+
+* :mod:`repro.core.parameters` — the model's parameter set (§III-A);
+* :mod:`repro.core.model` — a single model instantiation: equations
+  1–5 and 8 (§III-B);
+* :mod:`repro.core.calibration` — extracting parameters from benchmark
+  curves (§IV-A2);
+* :mod:`repro.core.placement` — combining the local and remote
+  instantiations to predict every placement: equations 6 and 7 (§III-C);
+* :mod:`repro.core.stacked` — the stacked-bandwidth representation of
+  Figure 2.
+"""
+
+from repro.core.calibration import calibrate, calibrate_placement_model
+from repro.core.fitting import fit_quality, refine_parameters
+from repro.core.model import ContentionModel
+from repro.core.parameters import ModelParameters
+from repro.core.placement import PlacementModel, PlacementPrediction
+from repro.core.sensitivity import SensitivityResult, parameter_sensitivity
+from repro.core.stacked import StackedView, stacked_view
+
+__all__ = [
+    "ContentionModel",
+    "ModelParameters",
+    "PlacementModel",
+    "PlacementPrediction",
+    "StackedView",
+    "SensitivityResult",
+    "calibrate",
+    "calibrate_placement_model",
+    "fit_quality",
+    "parameter_sensitivity",
+    "refine_parameters",
+    "stacked_view",
+]

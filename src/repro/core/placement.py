@@ -1,0 +1,170 @@
+"""Combining the local and remote models across placements (§III-C).
+
+Two calibrated instantiations — ``M_local`` (computation and
+communication data both on the first NUMA node of socket 0) and
+``M_remote`` (both on the first node of socket 1) — predict *every*
+``(m_comp, m_comm)`` placement through the selection rules of equations
+6 and 7.
+
+Index convention: NUMA nodes are numbered socket-major, computing cores
+sit on socket 0, so a node ``m < #m`` (``nodes_per_socket``) is local
+and ``m >= #m`` is remote — exactly the comparisons written in the
+paper's equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import ContentionModel
+from repro.core.parameters import ModelParameters
+from repro.errors import PlacementError
+
+__all__ = ["PlacementModel", "PlacementPrediction"]
+
+
+@dataclass(frozen=True)
+class PlacementPrediction:
+    """Model predictions for one placement over a range of core counts."""
+
+    m_comp: int
+    m_comm: int
+    core_counts: np.ndarray
+    comp_parallel: np.ndarray
+    comm_parallel: np.ndarray
+    comp_alone: np.ndarray
+    comm_alone: float
+
+    def total_parallel(self) -> np.ndarray:
+        return self.comp_parallel + self.comm_parallel
+
+
+class PlacementModel:
+    """The full model of one machine: ``M_local`` + ``M_remote`` + topology."""
+
+    def __init__(
+        self,
+        local: ModelParameters,
+        remote: ModelParameters,
+        *,
+        nodes_per_socket: int,
+        n_numa_nodes: int,
+    ) -> None:
+        if nodes_per_socket < 1:
+            raise PlacementError("nodes_per_socket must be >= 1")
+        if n_numa_nodes <= nodes_per_socket:
+            raise PlacementError(
+                "the placement model needs at least two sockets' worth of "
+                f"NUMA nodes, got {n_numa_nodes} with {nodes_per_socket} per socket"
+            )
+        self._local = ContentionModel(local)
+        self._remote = ContentionModel(remote)
+        # Equation 6's middle case: the local model with the remote
+        # nominal network bandwidth substituted in.
+        self._local_remote_nominal = ContentionModel(
+            local.with_comm_nominal(remote.b_comm_seq)
+        )
+        self._nodes_per_socket = nodes_per_socket
+        self._n_numa_nodes = n_numa_nodes
+
+    # ---- accessors -------------------------------------------------------------
+
+    @property
+    def local(self) -> ModelParameters:
+        return self._local.params
+
+    @property
+    def remote(self) -> ModelParameters:
+        return self._remote.params
+
+    @property
+    def nodes_per_socket(self) -> int:
+        """The paper's ``#m``."""
+        return self._nodes_per_socket
+
+    def is_remote(self, m: int) -> bool:
+        """``m >= #m`` — the comparison used by equations 6 and 7."""
+        self._check_node(m)
+        return m >= self._nodes_per_socket
+
+    # ---- equation 6 ------------------------------------------------------------
+
+    def comm_parallel(self, n: int, m_comp: int, m_comm: int) -> float:
+        """``B_comm_par(n, m_comp, m_comm)`` (Eq. 6)."""
+        self._check_node(m_comp)
+        self._check_node(m_comm)
+        if self.is_remote(m_comp) and m_comp == m_comm:
+            return self._remote.comm_parallel(n)
+        if self.is_remote(m_comm):
+            return self._local_remote_nominal.comm_parallel(n)
+        return self._local.comm_parallel(n)
+
+    # ---- equation 7 ------------------------------------------------------------
+
+    def comp_parallel(self, n: int, m_comp: int, m_comm: int) -> float:
+        """``B_comp_par(n, m_comp, m_comm)`` (Eq. 7)."""
+        self._check_node(m_comp)
+        self._check_node(m_comm)
+        if not self.is_remote(m_comp):
+            if m_comp == m_comm:
+                return self._local.comp_parallel(n)
+            return self._local.comp_alone(n)
+        if m_comp == m_comm:
+            return self._remote.comp_parallel(n)
+        return self._remote.comp_alone(n)
+
+    # ---- alone predictions --------------------------------------------------------
+
+    def comp_alone(self, n: int, m_comp: int) -> float:
+        """Computation-alone bandwidth for a placement (Eq. 8 on the
+        instantiation selected by ``m_comp``)."""
+        self._check_node(m_comp)
+        model = self._remote if self.is_remote(m_comp) else self._local
+        return model.comp_alone(n)
+
+    def comm_alone(self, m_comm: int) -> float:
+        """Communication-alone bandwidth for a placement."""
+        self._check_node(m_comm)
+        if self.is_remote(m_comm):
+            return self._remote.params.b_comm_seq
+        return self._local.params.b_comm_seq
+
+    # ---- sweeps ----------------------------------------------------------------
+
+    def predict(
+        self,
+        core_counts: Sequence[int] | np.ndarray,
+        m_comp: int,
+        m_comm: int,
+    ) -> PlacementPrediction:
+        """Predict all curves of one placement over ``core_counts``."""
+        ns = np.asarray(core_counts, dtype=int)
+        if ns.ndim != 1 or ns.size == 0:
+            raise PlacementError("core_counts must be a non-empty 1-D sequence")
+        return PlacementPrediction(
+            m_comp=m_comp,
+            m_comm=m_comm,
+            core_counts=ns,
+            comp_parallel=np.array(
+                [self.comp_parallel(int(n), m_comp, m_comm) for n in ns]
+            ),
+            comm_parallel=np.array(
+                [self.comm_parallel(int(n), m_comp, m_comm) for n in ns]
+            ),
+            comp_alone=np.array([self.comp_alone(int(n), m_comp) for n in ns]),
+            comm_alone=self.comm_alone(m_comm),
+        )
+
+    # ---- helpers --------------------------------------------------------------
+
+    def _check_node(self, m: int) -> None:
+        if not isinstance(m, (int, np.integer)):
+            raise PlacementError(f"NUMA node index must be an integer, got {m!r}")
+        if not 0 <= m < self._n_numa_nodes:
+            raise PlacementError(
+                f"NUMA node {m} out of range (machine has "
+                f"{self._n_numa_nodes} nodes)"
+            )

@@ -1,0 +1,120 @@
+"""Parameter sensitivity analysis.
+
+The paper argues for its threshold model partly on interpretability:
+parameters "with a physical meaning, well-known units".  This module
+makes that concrete by quantifying how much each parameter influences
+the predictions: perturb one parameter at a time by a relative step and
+measure the mean absolute relative change of the predicted curves.
+
+Useful to see, e.g., that communication predictions hinge on ``alpha``
+and ``b_comm_seq`` while ``delta_r`` barely matters below the socket
+size — i.e. which calibration measurements deserve the most care.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.model import ContentionModel
+from repro.core.parameters import ModelParameters
+from repro.errors import ModelError
+
+__all__ = ["SensitivityResult", "parameter_sensitivity"]
+
+#: Parameters that can be perturbed multiplicatively.
+_FLOAT_FIELDS = (
+    "t_par_max",
+    "t_seq_max",
+    "t_par_max2",
+    "delta_l",
+    "delta_r",
+    "b_comp_seq",
+    "b_comm_seq",
+    "alpha",
+)
+_INT_FIELDS = ("n_par_max", "n_seq_max")
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Mean relative prediction change per perturbed parameter."""
+
+    relative_step: float
+    #: parameter name -> mean |Δ prediction| / prediction, per curve.
+    comm_sensitivity: Mapping[str, float]
+    comp_sensitivity: Mapping[str, float]
+
+    def ranked(self, *, curve: str = "comm") -> list[tuple[str, float]]:
+        """Parameters ordered by influence on one curve family."""
+        table = {
+            "comm": self.comm_sensitivity,
+            "comp": self.comp_sensitivity,
+        }.get(curve)
+        if table is None:
+            raise ModelError(f"curve must be 'comm' or 'comp', got {curve!r}")
+        return sorted(table.items(), key=lambda kv: -kv[1])
+
+
+def _perturbed(params: ModelParameters, field: str, step: float) -> ModelParameters | None:
+    """Perturb one field; None when the perturbation is invalid."""
+    if field in _INT_FIELDS:
+        value = getattr(params, field) + (1 if step > 0 else -1)
+    else:
+        value = getattr(params, field) * (1.0 + step)
+    try:
+        return dataclasses.replace(params, **{field: value})
+    except ModelError:
+        return None  # e.g. alpha > 1, n_par > n_seq: skip this direction
+
+
+def parameter_sensitivity(
+    params: ModelParameters,
+    *,
+    core_counts: Sequence[int] | np.ndarray,
+    relative_step: float = 0.05,
+) -> SensitivityResult:
+    """Measure prediction sensitivity to each model parameter.
+
+    For each parameter the result is the larger (over the +step and
+    -step directions) of the mean relative change of the predicted
+    curve over ``core_counts``.  Integer parameters move by ±1 core.
+    """
+    if relative_step <= 0:
+        raise ModelError("relative_step must be positive")
+    ns = np.asarray(core_counts, dtype=int)
+    if ns.ndim != 1 or ns.size == 0:
+        raise ModelError("core_counts must be a non-empty 1-D sequence")
+
+    base = ContentionModel(params).sweep(ns)
+    comm_sens: dict[str, float] = {}
+    comp_sens: dict[str, float] = {}
+
+    for field in _FLOAT_FIELDS + _INT_FIELDS:
+        comm_changes: list[float] = []
+        comp_changes: list[float] = []
+        for step in (relative_step, -relative_step):
+            perturbed = _perturbed(params, field, step)
+            if perturbed is None:
+                continue
+            swept = ContentionModel(perturbed).sweep(ns)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                comm_rel = np.abs(swept["comm_par"] - base["comm_par"]) / np.maximum(
+                    base["comm_par"], 1e-12
+                )
+                comp_rel = np.abs(swept["comp_par"] - base["comp_par"]) / np.maximum(
+                    base["comp_par"], 1e-12
+                )
+            comm_changes.append(float(np.mean(comm_rel)))
+            comp_changes.append(float(np.mean(comp_rel)))
+        comm_sens[field] = max(comm_changes) if comm_changes else 0.0
+        comp_sens[field] = max(comp_changes) if comp_changes else 0.0
+
+    return SensitivityResult(
+        relative_step=relative_step,
+        comm_sensitivity=comm_sens,
+        comp_sensitivity=comp_sens,
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine Python bugs (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "SimulationError",
+    "ArbitrationError",
+    "CalibrationError",
+    "ModelError",
+    "PlacementError",
+    "BenchmarkError",
+    "CommunicationError",
+    "AdvisorError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid machine topology construction or queries."""
+
+
+class SimulationError(ReproError):
+    """Raised when the memory-system simulation cannot proceed."""
+
+
+class ArbitrationError(SimulationError):
+    """Raised when the bandwidth arbiter cannot find a feasible allocation."""
+
+
+class CalibrationError(ReproError):
+    """Raised when model parameters cannot be extracted from benchmark curves."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid model parameters or evaluation requests."""
+
+
+class PlacementError(ModelError):
+    """Raised for invalid NUMA placement descriptions."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark sweep is misconfigured."""
+
+
+class CommunicationError(ReproError):
+    """Raised by the simulated network / mini-MPI layer."""
+
+
+class AdvisorError(ReproError):
+    """Raised when the placement advisor cannot produce a recommendation."""

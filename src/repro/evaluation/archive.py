@@ -1,0 +1,118 @@
+"""Experiment archives: persist a full evaluation run to disk.
+
+The paper ships a companion repository so its study can be re-run and
+re-checked; this module provides the equivalent for any experiment run
+here: one directory per platform containing
+
+* ``dataset.csv`` — every measured curve (the ground truth),
+* ``model_local.json`` / ``model_remote.json`` — calibrated parameters,
+* ``errors.json`` — the Table II row,
+* ``meta.json`` — platform name, sample placements, format version.
+
+Archives reload into the same objects; predictions are *recomputed*
+from the stored parameters (they are derived data), and the round trip
+is exact because the model is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.results import PlatformDataset
+from repro.core.parameters import ModelParameters
+from repro.core.placement import PlacementModel
+from repro.errors import ReproError
+from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.metrics import ErrorBreakdown, placement_errors
+from repro.topology.platforms import get_platform
+
+__all__ = ["save_experiment", "load_experiment"]
+
+_FORMAT_VERSION = 1
+_FILES = ("dataset.csv", "model_local.json", "model_remote.json", "meta.json")
+
+
+def save_experiment(result: ExperimentResult, directory: Path | str) -> Path:
+    """Write ``result`` under ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "dataset.csv").write_text(result.dataset.to_csv())
+    (directory / "model_local.json").write_text(result.model.local.to_json())
+    (directory / "model_remote.json").write_text(result.model.remote.to_json())
+    errors = result.errors
+    (directory / "errors.json").write_text(
+        json.dumps(
+            {
+                "platform": errors.platform_name,
+                "comm_samples": errors.comm_samples,
+                "comm_non_samples": errors.comm_non_samples,
+                "comm_all": errors.comm_all,
+                "comp_samples": errors.comp_samples,
+                "comp_non_samples": errors.comp_non_samples,
+                "comp_all": errors.comp_all,
+                "average": errors.average,
+            },
+            indent=2,
+        )
+    )
+    (directory / "meta.json").write_text(
+        json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "platform": result.platform.name,
+                "sample_keys": [list(k) for k in result.sample_keys],
+                "nodes_per_socket": result.platform.nodes_per_socket,
+                "n_numa_nodes": result.platform.machine.n_numa_nodes,
+            },
+            indent=2,
+        )
+    )
+    return directory
+
+
+def load_experiment(directory: Path | str) -> ExperimentResult:
+    """Reload an archive written by :func:`save_experiment`.
+
+    The platform is re-instantiated from the registry by name; archives
+    of custom platforms must be reloaded with their own factories (use
+    :mod:`repro.topology.serialize` to ship the platform alongside).
+    """
+    directory = Path(directory)
+    missing = [f for f in _FILES if not (directory / f).exists()]
+    if missing:
+        raise ReproError(
+            f"incomplete experiment archive {directory}: missing {missing}"
+        )
+    meta = json.loads((directory / "meta.json").read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported archive version {meta.get('format_version')!r}"
+        )
+
+    platform = get_platform(meta["platform"])
+    dataset = PlatformDataset.from_csv((directory / "dataset.csv").read_text())
+    model = PlacementModel(
+        local=ModelParameters.from_json(
+            (directory / "model_local.json").read_text()
+        ),
+        remote=ModelParameters.from_json(
+            (directory / "model_remote.json").read_text()
+        ),
+        nodes_per_socket=int(meta["nodes_per_socket"]),
+        n_numa_nodes=int(meta["n_numa_nodes"]),
+    )
+    sample_keys = tuple(tuple(k) for k in meta["sample_keys"])
+    predictions = {
+        key: model.predict(dataset.sweep[key].core_counts, *key)
+        for key in dataset.sweep
+    }
+    errors: ErrorBreakdown = placement_errors(dataset, model, sample_keys)
+    return ExperimentResult(
+        platform=platform,
+        dataset=dataset,
+        model=model,
+        predictions=predictions,
+        errors=errors,
+        sample_keys=sample_keys,  # type: ignore[arg-type]
+    )

@@ -1,0 +1,196 @@
+"""Model-limits diagnostics (the paper's §IV-C1 discussion, quantified).
+
+The paper localises its model's weaknesses qualitatively: the
+communication drop is predicted "too late" (henri), errors concentrate
+where the bus transitions into saturation, and unstable networks break
+the locality heuristic.  This module turns those observations into
+measurable diagnostics for any experiment run:
+
+* :func:`comm_drop_onset` — at how many cores the communication curve
+  starts to fall, measured vs predicted (the henri flaw is
+  ``measured < predicted``);
+* :func:`region_errors` — the communication MAPE split by model regime
+  (pre-saturation plateau / transition between the two maxima /
+  post-saturation floor);
+* :func:`diagnose` — the full per-placement diagnosis of one platform
+  experiment, with a text rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.bench.results import ModeCurves, PlacementKey
+from repro.core.parameters import ModelParameters
+from repro.core.placement import PlacementPrediction
+from repro.errors import ModelError
+from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.metrics import mape
+
+__all__ = [
+    "OnsetComparison",
+    "RegionErrors",
+    "PlacementDiagnosis",
+    "comm_drop_onset",
+    "region_errors",
+    "diagnose",
+    "render_diagnosis",
+]
+
+#: Relative drop below the few-core communication level that counts as
+#: "the curve started falling".
+_DROP_THRESHOLD = 0.97
+
+
+@dataclass(frozen=True)
+class OnsetComparison:
+    """Where the communication drop starts: measured vs predicted."""
+
+    measured_onset: int | None  # None: never drops within the sweep
+    predicted_onset: int | None
+
+    @property
+    def model_is_late(self) -> bool:
+        """The paper's henri flaw: reality drops before the model does."""
+        if self.measured_onset is None or self.predicted_onset is None:
+            return False
+        return self.measured_onset < self.predicted_onset
+
+    @property
+    def lateness_cores(self) -> int:
+        if self.measured_onset is None or self.predicted_onset is None:
+            return 0
+        return self.predicted_onset - self.measured_onset
+
+
+def _onset(ns: np.ndarray, curve: np.ndarray) -> int | None:
+    if curve.size == 0:
+        raise ModelError("empty curve")
+    reference = float(curve[0])
+    if reference <= 0.0:
+        raise ModelError("communication curve starts at zero")
+    hits = np.flatnonzero(curve < _DROP_THRESHOLD * reference)
+    return int(ns[hits[0]]) if hits.size else None
+
+
+def comm_drop_onset(
+    curves: ModeCurves, prediction: PlacementPrediction
+) -> OnsetComparison:
+    """Compare measured and predicted communication-drop onsets."""
+    ns = curves.core_counts
+    return OnsetComparison(
+        measured_onset=_onset(ns, curves.comm_parallel),
+        predicted_onset=_onset(ns, prediction.comm_parallel),
+    )
+
+
+@dataclass(frozen=True)
+class RegionErrors:
+    """Communication MAPE per model regime (NaN when a region is empty)."""
+
+    plateau: float  # n <= N_par_max: everyone at nominal speed
+    transition: float  # N_par_max < n <= N_seq_max: the contested band
+    floor: float  # n > N_seq_max: communications at alpha
+
+    def worst_region(self) -> str:
+        values = {
+            "plateau": self.plateau,
+            "transition": self.transition,
+            "floor": self.floor,
+        }
+        finite = {k: v for k, v in values.items() if not np.isnan(v)}
+        if not finite:
+            raise ModelError("all regions are empty")
+        return max(finite, key=finite.get)
+
+
+def region_errors(
+    curves: ModeCurves,
+    prediction: PlacementPrediction,
+    params: ModelParameters,
+) -> RegionErrors:
+    """Split the communication error by the model's own regimes."""
+    ns = curves.core_counts
+
+    def _mape_where(mask: np.ndarray) -> float:
+        if not np.any(mask):
+            return float("nan")
+        return mape(curves.comm_parallel[mask], prediction.comm_parallel[mask])
+
+    return RegionErrors(
+        plateau=_mape_where(ns <= params.n_par_max),
+        transition=_mape_where(
+            (ns > params.n_par_max) & (ns <= params.n_seq_max)
+        ),
+        floor=_mape_where(ns > params.n_seq_max),
+    )
+
+
+@dataclass(frozen=True)
+class PlacementDiagnosis:
+    """Full diagnosis of one placement."""
+
+    placement: PlacementKey
+    onset: OnsetComparison
+    regions: RegionErrors
+    comm_mape: float
+    comp_mape: float
+
+
+def diagnose(result: ExperimentResult) -> dict[PlacementKey, PlacementDiagnosis]:
+    """Diagnose every placement of a platform experiment."""
+    out: dict[PlacementKey, PlacementDiagnosis] = {}
+    for key in result.dataset.sweep:
+        curves = result.dataset.sweep[key]
+        prediction = result.predictions[key]
+        params = (
+            result.model.remote
+            if result.model.is_remote(key[0]) and key[0] == key[1]
+            else result.model.local
+        )
+        out[key] = PlacementDiagnosis(
+            placement=key,
+            onset=comm_drop_onset(curves, prediction),
+            regions=region_errors(curves, prediction, params),
+            comm_mape=mape(curves.comm_parallel, prediction.comm_parallel),
+            comp_mape=mape(curves.comp_parallel, prediction.comp_parallel),
+        )
+    return out
+
+
+def render_diagnosis(result: ExperimentResult) -> str:
+    """Text rendering of a platform's model-limits diagnosis."""
+    diagnoses = diagnose(result)
+    lines = [
+        f"model-limits diagnosis for {result.platform.name} "
+        f"(threshold for 'drop': {100 * (1 - _DROP_THRESHOLD):.0f} % below "
+        "the few-core level)",
+        f"{'placement':<10} {'meas onset':>10} {'pred onset':>10} "
+        f"{'plateau':>8} {'transit':>8} {'floor':>8} {'comm':>7} {'comp':>7}",
+    ]
+
+    def fmt(value: float) -> str:
+        return "    --" if np.isnan(value) else f"{value:5.1f}%"
+
+    for key, diag in sorted(diagnoses.items()):
+        onset = diag.onset
+        lines.append(
+            f"{str(key):<10} "
+            f"{onset.measured_onset if onset.measured_onset else '--':>10} "
+            f"{onset.predicted_onset if onset.predicted_onset else '--':>10} "
+            f"{fmt(diag.regions.plateau):>8} "
+            f"{fmt(diag.regions.transition):>8} "
+            f"{fmt(diag.regions.floor):>8} "
+            f"{diag.comm_mape:6.2f}% {diag.comp_mape:6.2f}%"
+        )
+    late = [d for d in diagnoses.values() if d.onset.model_is_late]
+    if late:
+        lines.append(
+            f"model predicts the communication drop too late on "
+            f"{len(late)}/{len(diagnoses)} placements "
+            "(the paper's §IV-B a observation)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Experiment registry: one entry per paper artefact.
+
+:func:`run_platform_experiment` is the full §IV pipeline for one
+platform: measure every placement on the simulated testbed, calibrate
+the model from the two sample placements only, predict every placement,
+and score the predictions.  The :data:`EXPERIMENTS` registry maps each
+figure/table of the paper to what regenerates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.bench.config import SweepConfig
+from repro.bench.results import PlacementKey, PlatformDataset
+from repro.bench.sweep import run_placement_grid, sample_placements
+from repro.core.calibration import calibrate_placement_model
+from repro.core.placement import PlacementModel, PlacementPrediction
+from repro.errors import ReproError
+from repro.evaluation.metrics import ErrorBreakdown, placement_errors
+from repro.topology.platforms import Platform, get_platform, platform_names
+
+__all__ = [
+    "ExperimentResult",
+    "run_platform_experiment",
+    "run_all_experiments",
+    "EXPERIMENTS",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything produced by one platform's evaluation run."""
+
+    platform: Platform
+    dataset: PlatformDataset
+    model: PlacementModel
+    predictions: Mapping[PlacementKey, PlacementPrediction]
+    errors: ErrorBreakdown
+    sample_keys: tuple[PlacementKey, PlacementKey]
+
+
+def run_platform_experiment(
+    platform: Platform | str,
+    *,
+    config: SweepConfig | None = None,
+) -> ExperimentResult:
+    """Run the full §IV pipeline for one platform."""
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    config = config or SweepConfig()
+
+    dataset = run_placement_grid(platform, config=config)
+    model = calibrate_placement_model(dataset, platform)
+    predictions = {
+        key: model.predict(dataset.sweep[key].core_counts, *key)
+        for key in dataset.sweep
+    }
+    samples = sample_placements(platform)
+    errors = placement_errors(dataset, model, samples)
+    return ExperimentResult(
+        platform=platform,
+        dataset=dataset,
+        model=model,
+        predictions=predictions,
+        errors=errors,
+        sample_keys=samples,
+    )
+
+
+def run_all_experiments(
+    *,
+    config: SweepConfig | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every testbed platform (the full Table II), in Table I order."""
+    return {
+        name: run_platform_experiment(name, config=config)
+        for name in platform_names()
+    }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry tying a paper artefact to its reproduction."""
+
+    experiment_id: str
+    paper_artefact: str
+    platform_name: str | None  # None = all platforms
+    description: str
+    bench_target: str
+
+
+#: Every table and figure of the paper's evaluation, with the benchmark
+#: target that regenerates it (DESIGN.md §4).
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "fig2": ExperimentSpec(
+        "fig2",
+        "Figure 2",
+        "henri-subnuma",
+        "Stacked memory bandwidth with the model's annotated points "
+        "(the top-left subplot of Figure 4, stacked)",
+        "benchmarks/bench_fig2_stacked.py",
+    ),
+    "fig3": ExperimentSpec(
+        "fig3",
+        "Figure 3",
+        "henri",
+        "Measured vs predicted bandwidths on henri (Intel, InfiniBand), "
+        "4 placements",
+        "benchmarks/bench_fig3_henri.py",
+    ),
+    "fig4": ExperimentSpec(
+        "fig4",
+        "Figure 4",
+        "henri-subnuma",
+        "Measured vs predicted bandwidths on henri-subnuma, 16 placements",
+        "benchmarks/bench_fig4_henri_subnuma.py",
+    ),
+    "fig5": ExperimentSpec(
+        "fig5",
+        "Figure 5",
+        "diablo",
+        "Measured vs predicted bandwidths on diablo (AMD, locality-"
+        "sensitive NIC)",
+        "benchmarks/bench_fig5_diablo.py",
+    ),
+    "fig6": ExperimentSpec(
+        "fig6",
+        "Figure 6",
+        "occigen",
+        "Measured vs predicted bandwidths on occigen (old Intel, "
+        "computations-only impact)",
+        "benchmarks/bench_fig6_occigen.py",
+    ),
+    "fig7": ExperimentSpec(
+        "fig7",
+        "Figure 7",
+        "pyxis",
+        "Measured vs predicted bandwidths on pyxis (ARM, unstable network)",
+        "benchmarks/bench_fig7_pyxis.py",
+    ),
+    "fig8": ExperimentSpec(
+        "fig8",
+        "Figure 8",
+        "dahu",
+        "Measured vs predicted bandwidths on dahu (Intel, Omni-Path)",
+        "benchmarks/bench_fig8_dahu.py",
+    ),
+    "table1": ExperimentSpec(
+        "table1",
+        "Table I",
+        None,
+        "Characteristics of testbed platforms",
+        "benchmarks/bench_table1_platforms.py",
+    ),
+    "table2": ExperimentSpec(
+        "table2",
+        "Table II",
+        None,
+        "Model prediction errors (MAPE) on all platforms, split by "
+        "samples/non-samples and communications/computations",
+        "benchmarks/bench_table2_errors.py",
+    ),
+}
+
+
+def figure_platform(experiment_id: str) -> str:
+    """Platform name of a figure experiment, validating the id."""
+    try:
+        spec = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    if spec.platform_name is None:
+        raise ReproError(
+            f"experiment {experiment_id!r} spans all platforms; "
+            "use run_all_experiments()"
+        )
+    return spec.platform_name

@@ -1,0 +1,169 @@
+"""Figure data generators and terminal rendering.
+
+Each figure of the paper is regenerated as *data series* (measured
+curves + model predictions per placement) plus an ASCII rendering for
+terminals, and CSV export for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.bench.results import PlacementKey
+from repro.core.stacked import StackedView, stacked_view
+from repro.errors import ReproError
+from repro.evaluation.experiments import ExperimentResult
+
+__all__ = [
+    "figure_series",
+    "stacked_figure",
+    "render_figure_ascii",
+    "series_to_csv",
+    "ascii_chart",
+]
+
+
+def figure_series(
+    result: ExperimentResult,
+) -> dict[PlacementKey, dict[str, np.ndarray]]:
+    """All series of one platform figure (Figures 3–8).
+
+    For each placement: the four measured curves and the three model
+    prediction curves, keyed exactly as plotted in the paper
+    (measurement markers vs model lines).
+    """
+    out: dict[PlacementKey, dict[str, np.ndarray]] = {}
+    for key in result.dataset.sweep:
+        curves = result.dataset.sweep[key]
+        pred = result.predictions[key]
+        out[key] = {
+            "n": curves.core_counts.astype(float),
+            "meas_comp_alone": curves.comp_alone,
+            "meas_comm_alone": curves.comm_alone,
+            "meas_comp_parallel": curves.comp_parallel,
+            "meas_comm_parallel": curves.comm_parallel,
+            "model_comp_alone": pred.comp_alone,
+            "model_comp_parallel": pred.comp_parallel,
+            "model_comm_parallel": pred.comm_parallel,
+            "model_comm_alone": np.full(
+                curves.core_counts.shape, pred.comm_alone
+            ),
+        }
+    return out
+
+
+def stacked_figure(result: ExperimentResult) -> StackedView:
+    """Figure 2: the stacked view of the platform's local model."""
+    return stacked_view(result.model.local)
+
+
+def series_to_csv(
+    series: Mapping[PlacementKey, Mapping[str, np.ndarray]],
+) -> str:
+    """Serialise figure series to CSV (long format)."""
+    out = io.StringIO()
+    out.write("m_comp,m_comm,series,n,gbps\n")
+    for (m_comp, m_comm), bundle in sorted(series.items()):
+        ns = bundle["n"]
+        for name, values in bundle.items():
+            if name == "n":
+                continue
+            for n, v in zip(ns, values):
+                out.write(f"{m_comp},{m_comm},{name},{int(n)},{v:.6f}\n")
+    return out.getvalue()
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Minimal ASCII line chart: one glyph per series, shared axes."""
+    if not series:
+        raise ReproError("ascii_chart needs at least one series")
+    xs = np.asarray(xs, dtype=float)
+    glyphs = "ox*+#@%&"
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_max = float(all_values.max())
+    y_min = 0.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        if xs.max() == xs.min():
+            return 0
+        return int(round((x - xs.min()) / (xs.max() - xs.min()) * (width - 1)))
+
+    def row(y: float) -> int:
+        return int(round((y_max - y) / (y_max - y_min) * (height - 1)))
+
+    for glyph, (name, values) in zip(glyphs, series.items()):
+        for x, y in zip(xs, np.asarray(values, dtype=float)):
+            r, c = row(float(y)), col(float(x))
+            if 0 <= r < height and 0 <= c < width:
+                grid[r][c] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:8.1f} ┤" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 8 + " │" + "".join(grid[r]))
+    lines.append(f"{y_min:8.1f} ┤" + "".join(grid[height - 1]))
+    lines.append(
+        " " * 8 + " └" + "─" * width
+    )
+    lines.append(
+        " " * 10 + f"{xs.min():<10.0f}{'cores':^{max(width - 20, 5)}}{xs.max():>10.0f}"
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(glyphs, series.keys())
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def render_figure_ascii(
+    result: ExperimentResult,
+    *,
+    placements: Sequence[PlacementKey] | None = None,
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Render a platform figure as stacked ASCII subplots."""
+    series = figure_series(result)
+    keys = list(placements) if placements is not None else sorted(series)
+    blocks: list[str] = [
+        f"Platform {result.platform.name}: measured (markers) vs model (lines)"
+    ]
+    for key in keys:
+        if key not in series:
+            raise ReproError(f"no series for placement {key}")
+        bundle = series[key]
+        title = (
+            f"-- comp data on node {key[0]}, comm data on node {key[1]}"
+            + (" [calibration sample]" if key in result.sample_keys else "")
+        )
+        blocks.append(
+            ascii_chart(
+                bundle["n"],
+                {
+                    "comm_par(meas)": bundle["meas_comm_parallel"],
+                    "comm_par(model)": bundle["model_comm_parallel"],
+                    "comp_par(meas)": bundle["meas_comp_parallel"],
+                    "comp_par(model)": bundle["model_comp_parallel"],
+                    "comp_alone(meas)": bundle["meas_comp_alone"],
+                },
+                width=width,
+                height=height,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,117 @@
+"""Prediction-error metrics (the paper's Table II methodology).
+
+The paper reports the mean absolute percentage error
+(:func:`mape`, :math:`\\frac{100}{n}\\sum_k |a_k - p_k| / |a_k|`) for
+communications and computations separately, split by whether the
+placement was used to instantiate the model ("samples") or not
+("non-samples").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bench.results import PlacementKey, PlatformDataset
+from repro.core.placement import PlacementModel
+from repro.errors import ModelError
+
+__all__ = ["mape", "ErrorBreakdown", "placement_errors"]
+
+
+def mape(actual: Sequence[float] | np.ndarray, predicted: Sequence[float] | np.ndarray) -> float:
+    """Mean absolute percentage error, in percent.
+
+    Raises :class:`~repro.errors.ModelError` on shape mismatch or when
+    an actual value is zero (the paper's metric is undefined there).
+    """
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ModelError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
+    if a.size == 0:
+        raise ModelError("mape needs at least one point")
+    if np.any(a == 0.0):
+        raise ModelError("mape undefined for zero actual values")
+    return float(100.0 * np.mean(np.abs((a - p) / a)))
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """One platform's row of Table II."""
+
+    platform_name: str
+    comm_samples: float
+    comm_non_samples: float
+    comm_all: float
+    comp_samples: float
+    comp_non_samples: float
+    comp_all: float
+
+    @property
+    def average(self) -> float:
+        """The table's final column: mean of the comm and comp overall errors."""
+        return 0.5 * (self.comm_all + self.comp_all)
+
+    def as_row(self) -> tuple[float, ...]:
+        return (
+            self.comm_samples,
+            self.comm_non_samples,
+            self.comm_all,
+            self.comp_samples,
+            self.comp_non_samples,
+            self.comp_all,
+            self.average,
+        )
+
+
+def placement_errors(
+    dataset: PlatformDataset,
+    model: PlacementModel,
+    sample_keys: Iterable[PlacementKey],
+) -> ErrorBreakdown:
+    """Compute the Table II error breakdown for one platform.
+
+    For every measured placement, the model predicts the parallel
+    communication and computation curves and (for computations) the
+    computation-alone curve; each placement contributes its own MAPE,
+    and groups are averaged per the paper's samples / non-samples /
+    all split.
+    """
+    samples = set(sample_keys)
+    groups: Mapping[str, list[float]] = {
+        "comm_s": [],
+        "comm_ns": [],
+        "comp_s": [],
+        "comp_ns": [],
+    }
+    for key in dataset.sweep:
+        curves = dataset.sweep[key]
+        prediction = model.predict(curves.core_counts, *key)
+        comm_err = mape(curves.comm_parallel, prediction.comm_parallel)
+        # Computations are evaluated on both execution modes, like the
+        # figures: the model predicts the alone curve too (Eq. 8).
+        comp_err = 0.5 * (
+            mape(curves.comp_parallel, prediction.comp_parallel)
+            + mape(curves.comp_alone, prediction.comp_alone)
+        )
+        tag = "s" if key in samples else "ns"
+        groups[f"comm_{tag}"].append(comm_err)
+        groups[f"comp_{tag}"].append(comp_err)
+
+    def _mean(values: list[float]) -> float:
+        return float(np.mean(values)) if values else float("nan")
+
+    comm_all = groups["comm_s"] + groups["comm_ns"]
+    comp_all = groups["comp_s"] + groups["comp_ns"]
+    return ErrorBreakdown(
+        platform_name=dataset.platform_name,
+        comm_samples=_mean(groups["comm_s"]),
+        comm_non_samples=_mean(groups["comm_ns"]),
+        comm_all=_mean(comm_all),
+        comp_samples=_mean(groups["comp_s"]),
+        comp_non_samples=_mean(groups["comp_ns"]),
+        comp_all=_mean(comp_all),
+    )

@@ -1,0 +1,290 @@
+"""Pure-Python SVG rendering of the paper's figures.
+
+No plotting library is needed: the figures of the paper are simple
+enough (line + marker series over core counts) that a small SVG writer
+reproduces their layout faithfully:
+
+* :func:`figure_svg` — Figures 3–8: a grid of subplots, one per
+  placement (rows = communication data node, columns = computation
+  data node, as in the paper), each with the network bandwidth on the
+  left axis (blue) and the memory bandwidth for computations on the
+  right axis (orange); measurements as markers, model predictions as
+  lines; calibration samples framed bold;
+* :func:`stacked_svg` — Figure 2: the stacked bandwidth view with the
+  annotated calibration points.
+
+The output is standalone SVG text — write it to a ``.svg`` file and
+open it in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.stacked import StackedView
+from repro.errors import ReproError
+from repro.evaluation.experiments import ExperimentResult
+
+__all__ = ["figure_svg", "stacked_svg"]
+
+# Paper-like colours: blue = communications, orange = computations.
+COMM_COLOR = "#1f77b4"
+COMP_COLOR = "#ff7f0e"
+ALONE_DASH = "4,3"
+
+_PANEL_W = 260
+_PANEL_H = 190
+_MARGIN_L = 46
+_MARGIN_R = 46
+_MARGIN_T = 30
+_MARGIN_B = 34
+
+
+def _scale(values: Sequence[float], lo: float, hi: float, out_lo: float, out_hi: float):
+    span = hi - lo if hi > lo else 1.0
+    return [
+        out_lo + (v - lo) / span * (out_hi - out_lo) for v in values
+    ]
+
+
+def _polyline(xs, ys, color, *, dash: str | None = None, width: float = 1.6) -> str:
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+    return (
+        f'<polyline fill="none" stroke="{color}" stroke-width="{width}"'
+        f'{dash_attr} points="{points}"/>'
+    )
+
+
+def _markers(xs, ys, color, *, shape: str = "circle", size: float = 2.6) -> str:
+    out = []
+    for x, y in zip(xs, ys):
+        if shape == "circle":
+            out.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{size}" fill="{color}"/>'
+            )
+        else:  # triangle, the paper's "in parallel" marker
+            out.append(
+                f'<polygon fill="{color}" points="'
+                f"{x - size:.1f},{y - size:.1f} {x + size:.1f},{y - size:.1f} "
+                f'{x:.1f},{y + size:.1f}"/>'
+            )
+    return "".join(out)
+
+
+def _text(x, y, content, *, size=9, anchor="middle", color="#333", rotate=None):
+    transform = (
+        f' transform="rotate({rotate} {x} {y})"' if rotate is not None else ""
+    )
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" fill="{color}" '
+        f'text-anchor="{anchor}" font-family="sans-serif"{transform}>'
+        f"{html.escape(str(content))}</text>"
+    )
+
+
+def _nice_max(value: float) -> float:
+    if value <= 0:
+        return 1.0
+    magnitude = 10 ** np.floor(np.log10(value))
+    for mult in (1, 2, 2.5, 5, 10):
+        if value <= mult * magnitude:
+            return float(mult * magnitude)
+    return float(10 * magnitude)
+
+
+def _panel(
+    ox: float,
+    oy: float,
+    ns: np.ndarray,
+    bundle: dict[str, np.ndarray],
+    *,
+    title: str,
+    is_sample: bool,
+    comm_max: float,
+    comp_max: float,
+) -> str:
+    """One placement subplot at SVG offset (ox, oy)."""
+    x0, x1 = ox + _MARGIN_L, ox + _PANEL_W - _MARGIN_R
+    y0, y1 = oy + _PANEL_H - _MARGIN_B, oy + _MARGIN_T  # y grows downward
+    parts: list[str] = []
+
+    frame_w = 2.4 if is_sample else 0.8
+    parts.append(
+        f'<rect x="{x0}" y="{y1}" width="{x1 - x0}" height="{y0 - y1}" '
+        f'fill="none" stroke="#333" stroke-width="{frame_w}"/>'
+    )
+    weight = " font-weight='bold'" if is_sample else ""
+    parts.append(
+        f'<text x="{(x0 + x1) / 2:.1f}" y="{oy + 16:.1f}" font-size="9.5" '
+        f'text-anchor="middle" font-family="sans-serif"{weight}>'
+        f"{html.escape(title)}</text>"
+    )
+
+    xs = _scale(ns.astype(float), float(ns[0]), float(ns[-1]), x0, x1)
+
+    def comm_y(values):
+        return _scale(values, 0.0, comm_max, y0, y1)
+
+    def comp_y(values):
+        return _scale(values, 0.0, comp_max, y0, y1)
+
+    # Model lines.
+    parts.append(_polyline(xs, comm_y(bundle["model_comm_parallel"]), COMM_COLOR))
+    parts.append(_polyline(xs, comp_y(bundle["model_comp_parallel"]), COMP_COLOR))
+    parts.append(
+        _polyline(
+            xs, comp_y(bundle["model_comp_alone"]), COMP_COLOR, dash=ALONE_DASH
+        )
+    )
+    # Measurement markers.
+    parts.append(
+        _markers(xs, comm_y(bundle["meas_comm_parallel"]), COMM_COLOR, shape="tri")
+    )
+    parts.append(
+        _markers(xs, comm_y(bundle["meas_comm_alone"]), COMM_COLOR, shape="circle")
+    )
+    parts.append(
+        _markers(xs, comp_y(bundle["meas_comp_parallel"]), COMP_COLOR, shape="tri")
+    )
+    parts.append(
+        _markers(xs, comp_y(bundle["meas_comp_alone"]), COMP_COLOR, shape="circle")
+    )
+
+    # Axes: left (comm), right (comp), bottom (cores).
+    for frac in (0.0, 0.5, 1.0):
+        y = y0 + (y1 - y0) * frac
+        parts.append(
+            _text(x0 - 4, y + 3, f"{comm_max * frac:.0f}", anchor="end", color=COMM_COLOR)
+        )
+        parts.append(
+            _text(x1 + 4, y + 3, f"{comp_max * frac:.0f}", anchor="start", color=COMP_COLOR)
+        )
+    for n in (int(ns[0]), int(ns[len(ns) // 2]), int(ns[-1])):
+        idx = int(np.argmin(np.abs(ns - n)))
+        parts.append(_text(xs[idx], y0 + 12, n))
+    return "".join(parts)
+
+
+def figure_svg(result: ExperimentResult) -> str:
+    """Render a platform figure (Figures 3–8 layout) as SVG text."""
+    from repro.evaluation.figures import figure_series
+
+    series = figure_series(result)
+    nodes = sorted({k[0] for k in series})
+    n_cols = len(nodes)
+    n_rows = len(nodes)
+    width = n_cols * _PANEL_W + 40
+    height = n_rows * _PANEL_H + 70
+
+    comm_max = _nice_max(
+        max(float(b["meas_comm_alone"].max()) for b in series.values()) * 1.1
+    )
+    comp_max = _nice_max(
+        max(float(b["meas_comp_alone"].max()) for b in series.values()) * 1.1
+    )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        _text(
+            width / 2,
+            20,
+            f"{result.platform.name}: measured (markers) vs model (lines) — "
+            "blue: network GB/s (left), orange: computation GB/s (right)",
+            size=12,
+        ),
+    ]
+    for (m_comp, m_comm), bundle in series.items():
+        col = nodes.index(m_comp)
+        row = nodes.index(m_comm)
+        parts.append(
+            _panel(
+                20 + col * _PANEL_W,
+                36 + row * _PANEL_H,
+                bundle["n"].astype(int),
+                bundle,
+                title=f"comp data: node {m_comp} — comm data: node {m_comm}",
+                is_sample=(m_comp, m_comm) in result.sample_keys,
+                comm_max=comm_max,
+                comp_max=comp_max,
+            )
+        )
+    parts.append(
+        _text(
+            width / 2,
+            height - 10,
+            "number of computing cores  —  circles: alone, triangles: in "
+            "parallel, dashed: computation-alone model",
+            size=10,
+        )
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def stacked_svg(view: StackedView, *, title: str = "Figure 2") -> str:
+    """Render the stacked-bandwidth view (Figure 2) as SVG text."""
+    width, height = 560, 360
+    x0, x1 = 60, width - 30
+    y0, y1 = height - 50, 40
+    ns = view.core_counts.astype(float)
+    top = view.stacked_top()
+    y_max = _nice_max(float(max(top.max(), view.comp_alone.max())) * 1.08)
+
+    xs = _scale(ns, float(ns[0]), float(ns[-1]), x0, x1)
+
+    def sy(values):
+        return _scale(values, 0.0, y_max, y0, y1)
+
+    comp_y = sy(view.comp_parallel)
+    top_y = sy(top)
+
+    def area(upper, lower, color, opacity=0.55):
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, upper))
+        pts_back = " ".join(
+            f"{x:.1f},{y:.1f}" for x, y in zip(reversed(xs), reversed(lower))
+        )
+        return (
+            f'<polygon fill="{color}" fill-opacity="{opacity}" stroke="none" '
+            f'points="{pts} {pts_back}"/>'
+        )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        _text(width / 2, 22, f"{title} — stacked memory bandwidth", size=13),
+        area(comp_y, [y0] * len(xs), COMP_COLOR),
+        area(top_y, comp_y, COMM_COLOR),
+        _polyline(xs, sy(view.comp_alone), "#2ca02c", width=2.0),
+        f'<rect x="{x0}" y="{y1}" width="{x1 - x0}" height="{y0 - y1}" '
+        'fill="none" stroke="#333" stroke-width="1"/>',
+    ]
+    for label, (px, py) in view.points.items():
+        cx = _scale([px], float(ns[0]), float(ns[-1]), x0, x1)[0]
+        cy = sy([py])[0]
+        parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="4" fill="#d62728"/>')
+        parts.append(_text(cx + 6, cy - 6, label, size=8.5, anchor="start"))
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y = y0 + (y1 - y0) * frac
+        parts.append(_text(x0 - 6, y + 3, f"{y_max * frac:.0f}", anchor="end"))
+    for n in (int(ns[0]), int(ns[-1] // 2), int(ns[-1])):
+        idx = int(np.argmin(np.abs(ns - n)))
+        parts.append(_text(xs[idx], y0 + 16, n))
+    parts.append(_text((x0 + x1) / 2, height - 12, "number of computing cores", size=10))
+    parts.append(
+        _text(
+            x0 + 8,
+            y1 + 14,
+            "orange: computations · blue: communications · green: computations alone",
+            size=9,
+            anchor="start",
+        )
+    )
+    parts.append("</svg>")
+    return "".join(parts)

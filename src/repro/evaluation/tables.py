@@ -1,0 +1,73 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.evaluation.experiments import ExperimentResult
+from repro.evaluation.metrics import ErrorBreakdown
+from repro.topology.platforms import Platform, get_platform, platform_names
+
+__all__ = ["render_table1", "render_table2", "table2_rows"]
+
+
+def render_table1(platforms: Iterable[Platform] | None = None) -> str:
+    """Render Table I — characteristics of testbed platforms."""
+    if platforms is None:
+        platforms = [get_platform(name) for name in platform_names()]
+    header = f"{'Name':<15} {'Processor':<45} {'Memory':<28} {'Network':<12}"
+    lines = [
+        "TABLE I — CHARACTERISTICS OF TESTBED PLATFORMS",
+        header,
+        "-" * len(header),
+    ]
+    for platform in platforms:
+        meta = platform.machine.metadata
+        lines.append(
+            f"{platform.name:<15} "
+            f"{meta.get('processor', platform.machine.sockets[0].name):<45} "
+            f"{meta.get('memory', ''):<28} "
+            f"{meta.get('network', platform.machine.nic.name):<12}"
+        )
+    return "\n".join(lines)
+
+
+def table2_rows(
+    results: Mapping[str, ExperimentResult],
+) -> list[ErrorBreakdown]:
+    """Table II rows in platform order, from experiment results."""
+    return [results[name].errors for name in results]
+
+
+def render_table2(results: Mapping[str, ExperimentResult]) -> str:
+    """Render Table II — model errors on testbed platforms."""
+    rows = table2_rows(results)
+    header = (
+        f"{'Platform':<15} | {'Comm S':>7} {'Comm NS':>8} {'Comm all':>9} | "
+        f"{'Comp S':>7} {'Comp NS':>8} {'Comp all':>9} | {'Average':>8}"
+    )
+    lines = [
+        "TABLE II — MODEL ERRORS ON TESTBED PLATFORMS "
+        "(mean absolute percentage error)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.platform_name:<15} | "
+            f"{row.comm_samples:>6.2f}% {row.comm_non_samples:>7.2f}% "
+            f"{row.comm_all:>8.2f}% | "
+            f"{row.comp_samples:>6.2f}% {row.comp_non_samples:>7.2f}% "
+            f"{row.comp_all:>8.2f}% | {row.average:>7.2f}%"
+        )
+    if rows:
+        avg = [float(np.mean([r.as_row()[i] for r in rows])) for i in range(7)]
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'Average':<15} | "
+            f"{avg[0]:>6.2f}% {avg[1]:>7.2f}% {avg[2]:>8.2f}% | "
+            f"{avg[3]:>6.2f}% {avg[4]:>7.2f}% {avg[5]:>8.2f}% | {avg[6]:>7.2f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Computation-kernel substrate.
+
+The paper's benchmark cores run non-temporal ``memset`` — a pure write
+stream that bypasses the last-level cache (§II-C).  This package
+describes such kernels abstractly (read/write stream decomposition,
+arithmetic intensity) and provides the simulated OpenMP-style team that
+executes them on a machine:
+
+* :mod:`repro.kernels.memops` — kernel definitions (memset, copy,
+  triad, and a parameterisable custom kernel);
+* :mod:`repro.kernels.intensity` — the roofline-style demand model
+  turning arithmetic intensity into per-core bandwidth demand;
+* :mod:`repro.kernels.team` — the simulated OpenMP team (thread→core
+  binding, weak scaling, execution on the fluid engine).
+"""
+
+from repro.kernels.cache import CacheModel, dram_traffic_factor, llc_bytes_per_thread
+from repro.kernels.intensity import demand_gbps
+from repro.kernels.memops import (
+    KERNELS,
+    Kernel,
+    copy_kernel,
+    get_kernel,
+    memset_nt,
+    triad_kernel,
+)
+from repro.kernels.sweep import IntensityPoint, intensity_sweep, kernel_scenario
+from repro.kernels.team import ComputeTeam, TeamRun
+
+__all__ = [
+    "CacheModel",
+    "ComputeTeam",
+    "IntensityPoint",
+    "KERNELS",
+    "Kernel",
+    "TeamRun",
+    "copy_kernel",
+    "demand_gbps",
+    "dram_traffic_factor",
+    "get_kernel",
+    "intensity_sweep",
+    "kernel_scenario",
+    "llc_bytes_per_thread",
+    "memset_nt",
+    "triad_kernel",
+]

@@ -1,0 +1,115 @@
+"""Last-level-cache model (the paper's §VI future-work item).
+
+The paper's benchmark bypasses the LLC with non-temporal stores so the
+model only sees true memory traffic (§II-C), and lists "take into
+account the last level cache into our model" as future work.  This
+module supplies the minimal cache layer that makes the question
+answerable on the simulated testbed:
+
+* non-temporal kernels bypass the cache entirely (factor 1.0 — the
+  paper's setting, unchanged);
+* temporal kernels are filtered by the classic working-set model: the
+  fraction of each thread's working set that fits in its share of the
+  LLC is served from cache, and only the rest reaches DRAM.  A
+  compulsory-miss floor keeps the first pass honest.
+
+The factor multiplies both the stream demand and the mesh issue
+pressure: data served from cache presses neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.kernels.memops import Kernel
+from repro.topology.objects import Machine
+
+__all__ = ["CacheModel", "llc_bytes_per_thread", "dram_traffic_factor"]
+
+#: Fraction of the traffic that always reaches DRAM even for a fully
+#: cache-resident working set (compulsory misses, streaming prefetch
+#: spill) — keeps the model from predicting literally zero traffic.
+COMPULSORY_FLOOR = 0.02
+
+
+def llc_bytes_per_thread(machine: Machine, n_threads: int) -> int:
+    """Each thread's fair share of its socket's last-level cache.
+
+    Raises when the machine declares no cache — modelling temporal
+    kernels then has no basis.
+    """
+    if n_threads < 1:
+        raise SimulationError("n_threads must be >= 1")
+    caches = machine.sockets[0].caches
+    llc = max((c for c in caches), key=lambda c: c.level, default=None)
+    if llc is None:
+        raise SimulationError(
+            f"machine {machine.name!r} declares no cache levels; "
+            "temporal kernels cannot be modelled on it"
+        )
+    return llc.size_bytes // max(n_threads, 1)
+
+
+def dram_traffic_factor(
+    kernel: Kernel,
+    *,
+    working_set_bytes: int,
+    llc_share_bytes: int,
+) -> float:
+    """Fraction of the kernel's nominal traffic that reaches DRAM.
+
+    Non-temporal kernels return exactly 1.0 (the stores bypass the
+    cache, §II-C).  Temporal kernels follow the working-set model:
+    ``hit = min(1, llc_share / working_set)`` and the DRAM factor is
+    ``max(1 - hit, COMPULSORY_FLOOR)``.
+    """
+    if working_set_bytes <= 0:
+        raise SimulationError("working_set_bytes must be positive")
+    if llc_share_bytes < 0:
+        raise SimulationError("llc_share_bytes must be non-negative")
+    if kernel.non_temporal:
+        return 1.0
+    hit_fraction = min(1.0, llc_share_bytes / working_set_bytes)
+    return max(1.0 - hit_fraction, COMPULSORY_FLOOR)
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """LLC filtering for one team configuration on one machine."""
+
+    machine: Machine
+    n_threads: int
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise SimulationError("n_threads must be >= 1")
+
+    @property
+    def llc_share_bytes(self) -> int:
+        return llc_bytes_per_thread(self.machine, self.n_threads)
+
+    def traffic_factor(self, kernel: Kernel, working_set_bytes: int) -> float:
+        """DRAM traffic factor for ``kernel`` over ``working_set_bytes``."""
+        return dram_traffic_factor(
+            kernel,
+            working_set_bytes=working_set_bytes,
+            llc_share_bytes=self.llc_share_bytes,
+        )
+
+    def effective_demand_gbps(
+        self,
+        kernel: Kernel,
+        *,
+        working_set_bytes: int,
+        stream_gbps: float,
+    ) -> float:
+        """Per-core DRAM bandwidth demand after cache filtering.
+
+        The core still *processes* at its stream rate; only the
+        DRAM-visible share of that traffic competes for the memory
+        system.
+        """
+        if stream_gbps <= 0:
+            raise SimulationError("stream_gbps must be positive")
+        return stream_gbps * self.traffic_factor(kernel, working_set_bytes)

@@ -1,0 +1,47 @@
+"""Roofline-style demand model.
+
+The paper notes ([1], §IV-C1) that contention depends on the
+*arithmetic intensity* of the computing kernel: compute-bound kernels
+put little pressure on the memory system.  :func:`demand_gbps` converts
+a kernel plus a core's characteristics into the per-core memory
+bandwidth demand the simulator should use — the classic roofline
+crossover:
+
+* a memory-bound kernel (low flops/byte) demands the core's full stream
+  bandwidth;
+* a compute-bound kernel is limited by the core's flop rate, demanding
+  only ``flops_rate / intensity`` bytes per second.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.kernels.memops import Kernel
+
+__all__ = ["demand_gbps"]
+
+
+def demand_gbps(
+    kernel: Kernel,
+    *,
+    core_stream_gbps: float,
+    core_gflops: float = 0.0,
+) -> float:
+    """Per-core memory-bandwidth demand of ``kernel``.
+
+    ``core_stream_gbps`` is the core's peak streaming bandwidth (the
+    profile's ``B_comp_seq`` hardware limit); ``core_gflops`` its peak
+    flop rate in GFLOP/s.  A zero flop rate (the default) models a
+    purely memory-bound setting, matching the paper's memset benchmark.
+    """
+    if core_stream_gbps <= 0.0:
+        raise SimulationError("core_stream_gbps must be positive")
+    if core_gflops < 0.0:
+        raise SimulationError("core_gflops must be non-negative")
+    intensity = kernel.arithmetic_intensity
+    if intensity == 0.0 or core_gflops == 0.0:
+        return core_stream_gbps
+    # Bandwidth at which the kernel's flop demand saturates the core:
+    # moving B bytes/s requires B * intensity flops/s.
+    flop_limited = core_gflops / intensity
+    return min(core_stream_gbps, flop_limited)

@@ -1,0 +1,144 @@
+"""Kernel definitions: memory-traffic decomposition of computing loops.
+
+A :class:`Kernel` describes how one iteration moves bytes: how many are
+read from memory, how many are written, whether the writes are
+non-temporal (bypassing the LLC, as the paper's benchmark mandates),
+and how many floating-point operations accompany them.  From this the
+simulator derives per-core stream demands and total traffic.
+
+The built-in kernels correspond to the paper and its future-work list:
+
+* :func:`memset_nt` — the paper's calibration kernel ("all computing
+  cores perform non-temporal memset instructions");
+* :func:`copy_kernel` — "copying an array into another instead of just
+  initializing" (§VI future work);
+* :func:`triad_kernel` — the STREAM-triad shape, a standard
+  memory-bound HPC kernel with a little arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Kernel",
+    "memset_nt",
+    "copy_kernel",
+    "triad_kernel",
+    "KERNELS",
+    "get_kernel",
+]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """Memory behaviour of one computational kernel.
+
+    ``bytes_read`` / ``bytes_written`` are per element processed;
+    ``flops`` the floating-point operations per element.
+    """
+
+    name: str
+    bytes_read: int
+    bytes_written: int
+    flops: int
+    non_temporal: bool = True
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("kernel name must be non-empty")
+        if self.bytes_read < 0 or self.bytes_written < 0:
+            raise SimulationError("byte counts must be non-negative")
+        if self.bytes_read + self.bytes_written == 0:
+            raise SimulationError(
+                f"kernel {self.name!r} moves no memory; the contention "
+                "model only covers memory-bound kernels"
+            )
+        if self.flops < 0:
+            raise SimulationError("flops must be non-negative")
+        if self.element_bytes <= 0:
+            raise SimulationError("element_bytes must be positive")
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Total memory traffic per element."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of the kernel's traffic that is stores."""
+        return self.bytes_written / self.bytes_per_element
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte moved — the roofline x-axis."""
+        return self.flops / self.bytes_per_element
+
+    def traffic_bytes(self, elements: int) -> int:
+        """Total memory traffic for processing ``elements`` elements."""
+        if elements < 0:
+            raise SimulationError(f"elements must be >= 0, got {elements}")
+        return elements * self.bytes_per_element
+
+    def duration_seconds(self, elements: int, achieved_gbps: float) -> float:
+        """Time to process ``elements`` at an achieved memory bandwidth."""
+        if achieved_gbps <= 0.0:
+            raise SimulationError("achieved bandwidth must be positive")
+        return self.traffic_bytes(elements) / (achieved_gbps * 1e9)
+
+
+def memset_nt(element_bytes: int = 8) -> Kernel:
+    """The paper's kernel: pure non-temporal stores, zero reads, zero flops."""
+    return Kernel(
+        name="memset_nt",
+        bytes_read=0,
+        bytes_written=element_bytes,
+        flops=0,
+        non_temporal=True,
+        element_bytes=element_bytes,
+    )
+
+
+def copy_kernel(element_bytes: int = 8) -> Kernel:
+    """Array copy: one read stream plus one non-temporal write stream."""
+    return Kernel(
+        name="copy",
+        bytes_read=element_bytes,
+        bytes_written=element_bytes,
+        flops=0,
+        non_temporal=True,
+        element_bytes=element_bytes,
+    )
+
+
+def triad_kernel(element_bytes: int = 8) -> Kernel:
+    """STREAM triad ``a[i] = b[i] + s * c[i]``: two reads, one write, two flops."""
+    return Kernel(
+        name="triad",
+        bytes_read=2 * element_bytes,
+        bytes_written=element_bytes,
+        flops=2,
+        non_temporal=True,
+        element_bytes=element_bytes,
+    )
+
+
+#: Built-in kernels by name.
+KERNELS: dict[str, Kernel] = {
+    "memset_nt": memset_nt(),
+    "copy": copy_kernel(),
+    "triad": triad_kernel(),
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a built-in kernel by name."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown kernel {name!r}; built-ins: {', '.join(KERNELS)}"
+        ) from None

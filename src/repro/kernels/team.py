@@ -1,0 +1,149 @@
+"""Simulated OpenMP-style compute team.
+
+The paper spreads computation "among cores dedicated to computations
+with OpenMP pragmas", binds threads to physical cores, and weak-scales
+the working set (each core always touches the same amount of data).
+:class:`ComputeTeam` reproduces that execution model on the fluid
+engine: one stream per thread, all bound to socket 0, with the team's
+kernel deciding the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.kernels.intensity import demand_gbps
+from repro.kernels.memops import Kernel
+from repro.memsim.engine import Engine, FlowProgress
+from repro.memsim.paths import stream_path
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.scenario import COMPUTE_SOCKET
+from repro.memsim.stream import Stream, StreamKind
+from repro.topology.objects import Machine
+
+__all__ = ["ComputeTeam", "TeamRun"]
+
+
+@dataclass(frozen=True)
+class TeamRun:
+    """Outcome of one team execution."""
+
+    flows: tuple[FlowProgress, ...]
+    elements_per_thread: int
+    kernel: Kernel
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Wall-clock of the parallel region (all threads joined)."""
+        ends = [f.finished_at for f in self.flows]
+        starts = [f.started_at for f in self.flows]
+        if any(e is None for e in ends) or any(s is None for s in starts):
+            raise SimulationError("team run has unfinished threads")
+        return max(ends) - min(starts)  # type: ignore[operator]
+
+    def total_bandwidth_gbps(self) -> float:
+        """Aggregate memory bandwidth over the run."""
+        return sum(f.observed_gbps() for f in self.flows)
+
+
+class ComputeTeam:
+    """A bound team of computing threads executing one kernel."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        profile: ContentionProfile,
+        *,
+        n_threads: int,
+        data_node: int,
+        kernel: Kernel,
+        core_gflops: float = 0.0,
+    ) -> None:
+        if n_threads < 1:
+            raise SimulationError(f"n_threads must be >= 1, got {n_threads}")
+        if n_threads > machine.cores_per_socket:
+            raise SimulationError(
+                f"{n_threads} threads exceed the {machine.cores_per_socket} "
+                f"cores of socket {COMPUTE_SOCKET} (the paper binds one "
+                "thread per physical core)"
+            )
+        machine.numa_node(data_node)  # validates the node exists
+        self._machine = machine
+        self._profile = profile
+        self._n_threads = n_threads
+        self._data_node = data_node
+        self._kernel = kernel
+        self._core_gflops = core_gflops
+
+    @property
+    def n_threads(self) -> int:
+        return self._n_threads
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
+
+    def thread_cores(self) -> tuple[int, ...]:
+        """Physical core indices the threads are bound to (compact)."""
+        return tuple(range(self._n_threads))
+
+    def streams(self) -> list[Stream]:
+        """One memory stream per thread, demand scaled by the kernel."""
+        local = (
+            self._machine.socket_of_numa(self._data_node) == COMPUTE_SOCKET
+        )
+        stream_peak = self._profile.core_stream_gbps(local=local)
+        demand = demand_gbps(
+            self._kernel,
+            core_stream_gbps=stream_peak,
+            core_gflops=self._core_gflops,
+        )
+        issue_peak = demand_gbps(
+            self._kernel,
+            core_stream_gbps=self._profile.core_stream_local_gbps,
+            core_gflops=self._core_gflops,
+        )
+        path = stream_path(
+            self._machine,
+            StreamKind.CPU,
+            origin_socket=COMPUTE_SOCKET,
+            target_numa=self._data_node,
+        )
+        return [
+            Stream(
+                stream_id=f"omp{core}",
+                kind=StreamKind.CPU,
+                demand_gbps=demand,
+                path=path,
+                target_numa=self._data_node,
+                origin_socket=COMPUTE_SOCKET,
+                issue_gbps=issue_peak,
+            )
+            for core in self.thread_cores()
+        ]
+
+    def run(
+        self,
+        engine: Engine,
+        *,
+        elements_per_thread: int,
+        at: float | None = None,
+    ) -> TeamRun:
+        """Submit the parallel region to ``engine`` (weak scaling).
+
+        The engine must be run (``engine.run()``) for the flows to
+        complete; this allows overlapping the region with communication
+        flows submitted to the same engine.
+        """
+        if elements_per_thread < 1:
+            raise SimulationError("elements_per_thread must be >= 1")
+        nbytes = self._kernel.traffic_bytes(elements_per_thread)
+        flows = tuple(
+            engine.submit(stream, nbytes, at=at) for stream in self.streams()
+        )
+        return TeamRun(
+            flows=flows,
+            elements_per_thread=elements_per_thread,
+            kernel=self._kernel,
+        )

@@ -1,0 +1,222 @@
+"""Fluid-flow simulation engine.
+
+The arbiter answers "what rates do these streams get *right now*"; the
+engine advances time: flows carry a byte budget, rates stay constant
+between events (a flow finishing or being injected), and the engine
+re-solves the steady state at every event.  This is the classic fluid
+approximation of network simulation, applied to the memory system.
+
+The mini-MPI layer (:mod:`repro.mpi`) and the benchmark runner's
+high-fidelity mode are built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.memsim.arbiter import Arbiter
+from repro.memsim.paths import ResourceMap, build_resources
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.stream import Stream
+from repro.topology.objects import Machine
+from repro.units import gb_to_bytes
+
+__all__ = ["FlowProgress", "Engine"]
+
+_EPS_BYTES = 1e-3
+_EPS_TIME = 1e-12
+
+
+@dataclass
+class FlowProgress:
+    """Lifecycle record of one flow."""
+
+    stream: Stream
+    total_bytes: float
+    submitted_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    transferred_bytes: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def remaining_bytes(self) -> float:
+        return max(0.0, self.total_bytes - self.transferred_bytes)
+
+    def observed_gbps(self) -> float:
+        """Average bandwidth over the flow's lifetime (GB/s)."""
+        if self.finished_at is None or self.started_at is None:
+            raise SimulationError(
+                f"flow {self.stream.stream_id!r} has not finished"
+            )
+        elapsed = self.finished_at - self.started_at
+        if elapsed <= 0.0:
+            raise SimulationError(
+                f"flow {self.stream.stream_id!r} finished in zero time"
+            )
+        return self.transferred_bytes / gb_to_bytes(1.0) / elapsed
+
+
+class Engine:
+    """Event-driven fluid simulation of flows over one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        profile: ContentionProfile,
+        *,
+        resource_map: ResourceMap | None = None,
+    ) -> None:
+        self._machine = machine
+        self._profile = profile
+        if resource_map is None:
+            resource_map = build_resources(machine, profile)
+        self._arbiter = Arbiter(resource_map, profile)
+        self._now = 0.0
+        self._active: dict[str, FlowProgress] = {}
+        self._pending: list[tuple[float, int, FlowProgress]] = []  # heap by start time
+        self._finished: list[FlowProgress] = []
+        self._tiebreak = itertools.count()
+
+    # ---- public API ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def submit(
+        self, stream: Stream, total_bytes: float, *, at: float | None = None
+    ) -> FlowProgress:
+        """Schedule ``total_bytes`` on ``stream``, starting at ``at`` (or now)."""
+        if total_bytes <= 0.0:
+            raise SimulationError(
+                f"flow on {stream.stream_id!r} must carry a positive byte count"
+            )
+        start = self._now if at is None else float(at)
+        if start < self._now - _EPS_TIME:
+            raise SimulationError(
+                f"cannot schedule flow in the past (t={start}, now={self._now})"
+            )
+        if stream.stream_id in self._active or any(
+            p.stream.stream_id == stream.stream_id for _, _, p in self._pending
+        ):
+            raise SimulationError(
+                f"a flow with id {stream.stream_id!r} is already in flight"
+            )
+        progress = FlowProgress(
+            stream=stream, total_bytes=float(total_bytes), submitted_at=start
+        )
+        heapq.heappush(self._pending, (start, next(self._tiebreak), progress))
+        return progress
+
+    def run(self, *, until: float | None = None, max_events: int = 1_000_000) -> float:
+        """Advance the simulation until all flows finish (or ``until``).
+
+        Returns the simulation time reached.
+        """
+        for _ in range(max_events):
+            if not self._active and not self._pending:
+                if until is not None and self._now < until:
+                    self._now = until
+                return self._now
+            self.step(until=until)
+            if until is not None and self._now >= until - _EPS_TIME:
+                return self._now
+        raise SimulationError(
+            f"engine exceeded {max_events} events; "
+            "a flow is probably starved (zero rate with bytes remaining)"
+        )
+
+    def step(self, *, until: float | None = None) -> tuple[FlowProgress, ...]:
+        """Advance to the next event; return flows completed by it.
+
+        Returns an empty tuple when nothing remains to simulate (which
+        is falsy — ``while engine.step(): ...`` drains the engine).  A
+        step that merely admits a pending flow or hits ``until`` also
+        returns an empty tuple, so callers must check
+        :attr:`active_count` to distinguish "idle" from "between
+        events"; :meth:`run` does.
+        """
+        self._admit_pending()
+        if not self._active:
+            if self._pending:
+                next_start = self._pending[0][0]
+                if until is not None and next_start > until:
+                    self._now = until
+                    return ()
+                self._now = next_start
+                self._admit_pending()
+            else:
+                if until is not None and self._now < until:
+                    self._now = until
+                return ()
+        if not self._active:
+            return ()
+
+        rates = self._arbiter.solve(
+            [p.stream for p in self._active.values()]
+        ).rates
+        horizon = self._next_event_horizon(rates, until)
+        before = len(self._finished)
+        self._advance(rates, horizon)
+        return tuple(self._finished[before:])
+
+    def finished_flows(self) -> tuple[FlowProgress, ...]:
+        return tuple(self._finished)
+
+    # ---- internals -----------------------------------------------------------
+
+    def _admit_pending(self) -> None:
+        while self._pending and self._pending[0][0] <= self._now + _EPS_TIME:
+            _, _, progress = heapq.heappop(self._pending)
+            progress.started_at = self._now
+            self._active[progress.stream.stream_id] = progress
+
+    def _next_event_horizon(
+        self, rates: dict[str, float], until: float | None
+    ) -> float:
+        """Earliest time at which the rate vector must be recomputed."""
+        horizon = float("inf")
+        for sid, progress in self._active.items():
+            rate = rates.get(sid, 0.0)
+            if rate <= 0.0:
+                continue
+            dt = progress.remaining_bytes / gb_to_bytes(rate)
+            horizon = min(horizon, self._now + dt)
+        if self._pending:
+            horizon = min(horizon, self._pending[0][0])
+        if until is not None:
+            horizon = min(horizon, until)
+        if horizon == float("inf"):
+            raise SimulationError(
+                "no active flow can make progress: all rates are zero"
+            )
+        return max(horizon, self._now + _EPS_TIME)
+
+    def _advance(self, rates: dict[str, float], horizon: float) -> None:
+        dt = horizon - self._now
+        self._now = horizon
+        done: list[str] = []
+        for sid, progress in self._active.items():
+            rate = rates.get(sid, 0.0)
+            progress.transferred_bytes = min(
+                progress.total_bytes,
+                progress.transferred_bytes + gb_to_bytes(rate) * dt,
+            )
+            if progress.remaining_bytes <= _EPS_BYTES:
+                progress.transferred_bytes = progress.total_bytes
+                progress.finished_at = self._now
+                done.append(sid)
+        for sid in done:
+            self._finished.append(self._active.pop(sid))

@@ -1,0 +1,59 @@
+"""Seeded run-to-run measurement variability.
+
+The paper notes "the run-to-run variability is very low" but blames its
+larger prediction errors on "unstable input data" — i.e. the calibration
+curves themselves wobble.  The simulator reproduces this with a small
+multiplicative log-normal perturbation on every *measurement* (never on
+the underlying physics), keyed deterministically so that:
+
+* the same (seed, measurement key) always yields the same value —
+  experiments are exactly reproducible;
+* different measurements decorrelate, like independent runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["NoiseModel"]
+
+
+class NoiseModel:
+    """Deterministic keyed multiplicative noise."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def factor(self, sigma: float, *key: object) -> float:
+        """Multiplicative noise factor ``exp(sigma * z)`` for this key.
+
+        ``z`` is a standard normal drawn from a generator seeded by a
+        stable hash of ``(seed, *key)``.  ``sigma == 0`` returns exactly
+        1.0 (useful to switch noise off in tests).
+        """
+        if sigma < 0.0:
+            raise SimulationError(f"sigma must be non-negative, got {sigma}")
+        if sigma == 0.0:
+            return 1.0
+        digest = hashlib.blake2b(
+            repr((self._seed, *key)).encode("utf-8"), digest_size=8
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest, "little"))
+        z = rng.standard_normal()
+        # Subtract sigma^2/2 so the factor has unit mean (log-normal).
+        return math.exp(sigma * z - 0.5 * sigma * sigma)
+
+    def perturb(self, value: float, sigma: float, *key: object) -> float:
+        """Return ``value`` perturbed by this key's noise factor."""
+        if value < 0.0:
+            raise SimulationError(f"cannot perturb negative measurement {value}")
+        return value * self.factor(sigma, *key)

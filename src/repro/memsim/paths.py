@@ -1,0 +1,192 @@
+"""Mapping from machine topology to simulator resources and stream paths.
+
+:func:`build_resources` instantiates one :class:`Resource` per
+contention point of Figure 1; :func:`stream_path` resolves the ordered
+resource list a stream crosses, applying the data-movement rules of the
+paper's benchmark:
+
+* a computing core performing non-temporal stores to NUMA node ``m``
+  writes through its socket's **mesh/uncore**, the inter-socket link
+  (if ``m`` is on another socket) and then ``m``'s memory controller;
+* the NIC receiving a message into a buffer on node ``m`` writes
+  through its port, its socket's PCIe, that socket's mesh, the
+  inter-socket link (if ``m`` is on another socket than the NIC), and
+  then ``m``'s controller.
+
+The socket mesh is where inbound NIC traffic meets core store traffic
+even when they target *different* NUMA nodes — the reason the paper's
+equation 6 applies the (contended) local model to every placement whose
+communication data is local.
+
+Inter-socket links are modelled **per direction**: write streams from
+socket 0 to socket 1 do not share capacity with streams flowing the
+other way.  This matters on diablo, where the NIC hangs off socket 1
+while computing cores live on socket 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError, TopologyError
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.resource import Resource, ResourceKind
+from repro.memsim.stream import StreamKind
+from repro.topology.objects import Machine
+
+__all__ = ["ResourceMap", "build_resources", "stream_path"]
+
+# Resource id schemes live in repro.memsim.ids (dependency-free) so the
+# topology graph view can share them without an import cycle.
+from repro.memsim.ids import (  # noqa: E402  (re-exported for callers)
+    CTRL_FMT,
+    LINK_FMT,
+    MESH_FMT,
+    NIC_FMT,
+    NIC_TX_FMT,
+    PCIE_FMT,
+    PCIE_TX_FMT,
+)
+
+#: Default mesh-slice headroom over a single NUMA node's controller capacity.
+MESH_HEADROOM = 1.08
+
+
+@dataclass(frozen=True)
+class ResourceMap:
+    """All resources of one machine, indexed by id."""
+
+    machine_name: str
+    resources: dict[str, Resource]
+
+    def __getitem__(self, resource_id: str) -> Resource:
+        try:
+            return self.resources[resource_id]
+        except KeyError:
+            raise SimulationError(
+                f"machine {self.machine_name!r} has no resource {resource_id!r}; "
+                f"known: {sorted(self.resources)}"
+            ) from None
+
+    def __contains__(self, resource_id: str) -> bool:
+        return resource_id in self.resources
+
+    def __len__(self) -> int:
+        return len(self.resources)
+
+    def ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self.resources))
+
+
+def build_resources(machine: Machine, profile: ContentionProfile) -> ResourceMap:
+    """Instantiate the resource set of ``machine`` under ``profile``."""
+    resources: dict[str, Resource] = {}
+
+    for node in machine.iter_numa_nodes():
+        rid = CTRL_FMT.format(numa=node.index)
+        resources[rid] = Resource(
+            resource_id=rid,
+            kind=ResourceKind.MEMORY_CONTROLLER,
+            capacity_gbps=node.controller_gbps,
+            remote_capacity_gbps=node.controller_gbps
+            * profile.remote_capacity_fraction,
+            socket=node.socket,
+        )
+
+    for socket in machine.sockets:
+        rid = MESH_FMT.format(socket=socket.index)
+        if profile.mesh_gbps is not None:
+            mesh_capacity = profile.mesh_gbps
+        else:
+            # Default pressure budget of a mesh slice group: bandwidth-bound
+            # cores fill the queue entries feeding one NUMA node's
+            # controller (plus the NIC's inbound share) regardless of
+            # which node they actually target — occupancy, not byte rate,
+            # is what competes with inbound PCIe writes.  This is what
+            # aligns the communication drop across placements, the
+            # behaviour equation 6 relies on.
+            mesh_capacity = (
+                MESH_HEADROOM * socket.numa_nodes[0].controller_gbps
+                + machine.nic.line_rate_gbps
+            )
+        resources[rid] = Resource(
+            resource_id=rid,
+            kind=ResourceKind.SOCKET_MESH,
+            capacity_gbps=mesh_capacity,
+            socket=socket.index,
+        )
+
+    for link in machine.links:
+        for src, dst in ((link.socket_a, link.socket_b), (link.socket_b, link.socket_a)):
+            rid = LINK_FMT.format(src=src, dst=dst)
+            resources[rid] = Resource(
+                resource_id=rid,
+                kind=ResourceKind.SOCKET_LINK,
+                capacity_gbps=link.gbps,
+            )
+
+    nic = machine.nic
+    for pcie_fmt, nic_fmt in ((PCIE_FMT, NIC_FMT), (PCIE_TX_FMT, NIC_TX_FMT)):
+        pcie_id = pcie_fmt.format(socket=nic.socket)
+        resources[pcie_id] = Resource(
+            resource_id=pcie_id,
+            kind=ResourceKind.PCIE,
+            capacity_gbps=nic.pcie_gbps,
+            socket=nic.socket,
+        )
+        nic_id = nic_fmt.format(socket=nic.socket)
+        resources[nic_id] = Resource(
+            resource_id=nic_id,
+            kind=ResourceKind.NIC_PORT,
+            capacity_gbps=nic.line_rate_gbps,
+            socket=nic.socket,
+        )
+
+    return ResourceMap(machine_name=machine.name, resources=resources)
+
+
+def stream_path(
+    machine: Machine,
+    kind: StreamKind,
+    *,
+    origin_socket: int,
+    target_numa: int,
+    transmit: bool = False,
+) -> tuple[str, ...]:
+    """Ordered resource ids crossed by a stream.
+
+    ``origin_socket`` is the computing socket for CPU streams; for DMA
+    streams it must equal the NIC's socket (there is a single NIC).
+    ``transmit`` selects the outbound direction for DMA streams: the
+    payload is read from ``target_numa`` toward the NIC through the
+    full-duplex port's transmit side.
+    """
+    if not 0 <= origin_socket < machine.n_sockets:
+        raise TopologyError(
+            f"origin socket {origin_socket} out of range on {machine.name!r}"
+        )
+    if transmit and kind is not StreamKind.DMA:
+        raise SimulationError("only DMA streams have a transmit direction")
+    target_socket = machine.socket_of_numa(target_numa)
+    path: list[str] = []
+
+    if kind is StreamKind.DMA:
+        nic = machine.nic
+        if origin_socket != nic.socket:
+            raise SimulationError(
+                f"DMA streams originate at the NIC socket {nic.socket}, "
+                f"got origin {origin_socket}"
+            )
+        nic_fmt = NIC_TX_FMT if transmit else NIC_FMT
+        pcie_fmt = PCIE_TX_FMT if transmit else PCIE_FMT
+        path.append(nic_fmt.format(socket=nic.socket))
+        path.append(pcie_fmt.format(socket=nic.socket))
+
+    path.append(MESH_FMT.format(socket=origin_socket))
+
+    if origin_socket != target_socket:
+        machine.link_between(origin_socket, target_socket)  # existence check
+        path.append(LINK_FMT.format(src=origin_socket, dst=target_socket))
+
+    path.append(CTRL_FMT.format(numa=target_numa))
+    return tuple(path)

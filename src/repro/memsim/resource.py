@@ -1,0 +1,112 @@
+"""Bandwidth-limited components of the memory system.
+
+Each :class:`Resource` is one place where the paper says contention can
+occur (Figure 1): a NUMA node's memory controller, the inter-socket
+link (UPI / Infinity Fabric / CCPI), the PCIe path to the NIC, or the
+NIC port itself.
+
+Memory controllers carry two capacities: the full local capacity, and a
+lower ``remote_capacity_gbps`` achieved when every request arrives from
+the other socket (cross-socket accesses are latency-limited and cannot
+keep the controller's queues full).  This is the mechanism behind the
+paper's separate ``M_local`` / ``M_remote`` model instantiations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["ResourceKind", "Resource"]
+
+
+class ResourceKind(enum.Enum):
+    """What kind of hardware component a resource models."""
+
+    MEMORY_CONTROLLER = "memory_controller"
+    SOCKET_MESH = "socket_mesh"
+    SOCKET_LINK = "socket_link"
+    PCIE = "pcie"
+    NIC_PORT = "nic_port"
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One bandwidth-limited component.
+
+    Parameters
+    ----------
+    resource_id:
+        Unique id, referenced by stream paths (e.g. ``"ctrl:2"``).
+    kind:
+        :class:`ResourceKind`; only memory controllers apply the
+        contention policy's interference and priority rules — links and
+        PCIe are plain fair-shared pipes.
+    capacity_gbps:
+        Peak bandwidth for local (same-socket) request mixes.
+    remote_capacity_gbps:
+        Peak bandwidth when all requests come from another socket.
+        ``None`` (links, PCIe, NIC ports) means origin does not matter.
+    socket:
+        Owning socket for controllers/PCIe (used to classify request
+        origins); ``None`` for inter-socket links.
+    """
+
+    resource_id: str
+    kind: ResourceKind
+    capacity_gbps: float
+    remote_capacity_gbps: float | None = None
+    socket: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.resource_id:
+            raise SimulationError("resource_id must be non-empty")
+        if self.capacity_gbps <= 0.0:
+            raise SimulationError(
+                f"resource {self.resource_id!r}: capacity must be positive"
+            )
+        if self.remote_capacity_gbps is not None:
+            if self.remote_capacity_gbps <= 0.0:
+                raise SimulationError(
+                    f"resource {self.resource_id!r}: remote capacity must be positive"
+                )
+            if self.remote_capacity_gbps > self.capacity_gbps:
+                raise SimulationError(
+                    f"resource {self.resource_id!r}: remote capacity "
+                    f"({self.remote_capacity_gbps}) cannot exceed local capacity "
+                    f"({self.capacity_gbps})"
+                )
+        if self.kind is ResourceKind.MEMORY_CONTROLLER and self.socket is None:
+            raise SimulationError(
+                f"memory controller {self.resource_id!r} must declare its socket"
+            )
+
+    @property
+    def is_controller(self) -> bool:
+        return self.kind is ResourceKind.MEMORY_CONTROLLER
+
+    @property
+    def is_mesh(self) -> bool:
+        return self.kind is ResourceKind.SOCKET_MESH
+
+    def base_capacity(self, remote_demand_fraction: float) -> float:
+        """Capacity for a request mix with the given cross-socket share.
+
+        ``remote_demand_fraction`` is the fraction of offered demand
+        originating from sockets other than the resource's own.  The
+        capacity interpolates linearly between the local and remote
+        figures; resources without a remote capacity ignore the mix.
+        """
+        if self.remote_capacity_gbps is None:
+            return self.capacity_gbps
+        if not 0.0 <= remote_demand_fraction <= 1.0:
+            raise SimulationError(
+                f"remote demand fraction must be in [0, 1], "
+                f"got {remote_demand_fraction}"
+            )
+        return (
+            self.capacity_gbps
+            + (self.remote_capacity_gbps - self.capacity_gbps) * remote_demand_fraction
+        )

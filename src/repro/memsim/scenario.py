@@ -1,0 +1,250 @@
+"""Benchmark scenarios: the three execution modes of the paper's suite.
+
+The paper's benchmarking program (§IV-A1) runs, for every core count:
+
+1. computations alone,
+2. communications alone,
+3. both in parallel.
+
+A :class:`Scenario` describes one such execution point — how many cores
+compute, where computation data lives (``m_comp``), and where
+communication data lives (``m_comm``); ``None`` disables the
+corresponding activity.  :func:`solve_scenario` builds the matching
+streams and returns steady-state bandwidths from the arbiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import SimulationError
+from repro.memsim.arbiter import Allocation, Arbiter
+from repro.memsim.paths import ResourceMap, build_resources, stream_path
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.stream import Stream, StreamKind
+from repro.topology.objects import Machine
+
+__all__ = ["Scenario", "ScenarioResult", "build_streams", "solve_scenario"]
+
+#: Socket the computing cores are bound to, matching the paper's
+#: benchmarks ("cores of only one socket are computing", §II-B).
+COMPUTE_SOCKET = 0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One execution point of the benchmarking suite.
+
+    ``comp_demand_gbps``/``comp_issue_gbps`` optionally override the
+    per-core stream demand and mesh issue pressure — used by the
+    kernel-aware sweeps (:mod:`repro.kernels.sweep`) to model kernels
+    with higher arithmetic intensity than the paper's pure memset
+    (compute-bound kernels press the memory system less, so contention
+    shrinks; §IV-C1).
+    """
+
+    n_cores: int
+    m_comp: int | None
+    m_comm: int | None
+    comp_demand_gbps: float | None = None
+    comp_issue_gbps: float | None = None
+    #: Optional cap on the NIC's demand (GB/s) — used by the
+    #: message-size study: small messages cannot sustain the line rate
+    #: (per-message latency and handshakes dominate), so they press the
+    #: memory system less.  Capped by the locality nominal.
+    comm_demand_gbps: float | None = None
+    #: Bidirectional communications ("ping-pongs instead of only
+    #: pongs", §VI future work): adds an outbound DMA read stream next
+    #: to the inbound one.
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 0:
+            raise SimulationError(f"n_cores must be >= 0, got {self.n_cores}")
+        if self.n_cores > 0 and self.m_comp is None:
+            raise SimulationError("computing cores need a data node (m_comp)")
+        if self.comp_demand_gbps is not None and self.comp_demand_gbps <= 0:
+            raise SimulationError("comp_demand_gbps override must be positive")
+        if self.comp_issue_gbps is not None and self.comp_issue_gbps <= 0:
+            raise SimulationError("comp_issue_gbps override must be positive")
+        if self.comm_demand_gbps is not None and self.comm_demand_gbps <= 0:
+            raise SimulationError("comm_demand_gbps override must be positive")
+
+    @property
+    def computing(self) -> bool:
+        return self.n_cores > 0 and self.m_comp is not None
+
+    @property
+    def communicating(self) -> bool:
+        return self.m_comm is not None
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Steady-state bandwidths of one scenario."""
+
+    scenario: Scenario
+    #: Aggregate memory bandwidth of all computing cores (GB/s).
+    comp_total_gbps: float
+    #: Per-core bandwidths, in core order (empty when not computing).
+    comp_per_core_gbps: tuple[float, ...]
+    #: Communication (network/DMA) bandwidth (GB/s); 0 when silent.
+    comm_gbps: float
+    #: Full arbiter output, for diagnostics.
+    allocation: Allocation
+    #: The solved streams (paths included), for bottleneck analysis.
+    streams: tuple[Stream, ...] = ()
+
+    @property
+    def total_gbps(self) -> float:
+        """Stacked total — the quantity plotted in the paper's Figure 2."""
+        return self.comp_total_gbps + self.comm_gbps
+
+
+def build_streams(
+    machine: Machine, profile: ContentionProfile, scenario: Scenario
+) -> list[Stream]:
+    """Construct the stream set of ``scenario`` on ``machine``."""
+    streams: list[Stream] = []
+
+    if scenario.computing:
+        assert scenario.m_comp is not None
+        target_socket = machine.socket_of_numa(scenario.m_comp)
+        local = target_socket == COMPUTE_SOCKET
+        demand = profile.core_stream_gbps(local=local)
+        if scenario.comp_demand_gbps is not None:
+            demand = min(demand, scenario.comp_demand_gbps)
+        if scenario.n_cores > machine.cores_per_socket:
+            raise SimulationError(
+                f"{scenario.n_cores} computing cores requested but socket "
+                f"{COMPUTE_SOCKET} has only {machine.cores_per_socket}"
+            )
+        path = stream_path(
+            machine,
+            StreamKind.CPU,
+            origin_socket=COMPUTE_SOCKET,
+            target_numa=scenario.m_comp,
+        )
+        for i in range(scenario.n_cores):
+            streams.append(
+                Stream(
+                    stream_id=f"core{i}",
+                    kind=StreamKind.CPU,
+                    demand_gbps=demand,
+                    path=path,
+                    target_numa=scenario.m_comp,
+                    origin_socket=COMPUTE_SOCKET,
+                    # Mesh occupancy follows the core's issue rate, which
+                    # is its local-target store rate regardless of where
+                    # the data actually lands (bounded by the kernel's
+                    # own issue rate when an override is given).
+                    issue_gbps=(
+                        min(
+                            profile.core_stream_local_gbps,
+                            scenario.comp_issue_gbps,
+                        )
+                        if scenario.comp_issue_gbps is not None
+                        else profile.core_stream_local_gbps
+                    ),
+                )
+            )
+
+    if scenario.communicating:
+        assert scenario.m_comm is not None
+        nic = machine.nic
+        nominal = profile.nic_nominal_gbps(scenario.m_comm, nic.line_rate_gbps)
+        # Platform quirk (pyxis): computations on a *different* node than
+        # the communication data still shave NIC bandwidth — an effect
+        # outside the paper's locality-only model.
+        if (
+            scenario.computing
+            and profile.nic_cross_penalty > 0.0
+            and scenario.m_comp != scenario.m_comm
+        ):
+            nominal *= 1.0 - profile.nic_cross_penalty
+        # The demand may be capped (message-size study) but the
+        # hardware's anti-starvation floor is defined against the
+        # platform nominal: a NIC asking for less than the guaranteed
+        # bandwidth simply gets everything it asks for.
+        demand = nominal
+        if scenario.comm_demand_gbps is not None:
+            demand = min(demand, scenario.comm_demand_gbps)
+        floor = min(demand, profile.nic_min_fraction * nominal)
+        path = stream_path(
+            machine,
+            StreamKind.DMA,
+            origin_socket=nic.socket,
+            target_numa=scenario.m_comm,
+        )
+        streams.append(
+            Stream(
+                stream_id="nic",
+                kind=StreamKind.DMA,
+                demand_gbps=demand,
+                path=path,
+                target_numa=scenario.m_comm,
+                origin_socket=nic.socket,
+                min_guarantee_gbps=floor,
+            )
+        )
+        if scenario.bidirectional:
+            # The outbound (send) direction: payload read from the same
+            # node toward the NIC, through the full-duplex port's
+            # transmit side; only the memory path (mesh, link,
+            # controller) is shared with the inbound stream.  The two
+            # directions split the hardware's guaranteed floor.
+            streams.append(
+                Stream(
+                    stream_id="nic-tx",
+                    kind=StreamKind.DMA,
+                    demand_gbps=nominal,
+                    path=stream_path(
+                        machine,
+                        StreamKind.DMA,
+                        origin_socket=nic.socket,
+                        target_numa=scenario.m_comm,
+                        transmit=True,
+                    ),
+                    target_numa=scenario.m_comm,
+                    origin_socket=nic.socket,
+                    min_guarantee_gbps=0.5 * profile.nic_min_fraction * nominal,
+                )
+            )
+
+    return streams
+
+
+def solve_scenario(
+    machine: Machine,
+    profile: ContentionProfile,
+    scenario: Scenario,
+    *,
+    resource_map: ResourceMap | None = None,
+    arbiter: Arbiter | None = None,
+) -> ScenarioResult:
+    """Solve ``scenario`` to steady state.
+
+    ``resource_map``/``arbiter`` can be passed in to amortise
+    construction over a sweep (the benchmark runner does).
+    """
+    if arbiter is None:
+        if resource_map is None:
+            resource_map = build_resources(machine, profile)
+        arbiter = Arbiter(resource_map, profile)
+
+    streams = build_streams(machine, profile, scenario)
+    allocation = arbiter.solve(streams)
+
+    per_core = tuple(
+        allocation.rate(f"core{i}") for i in range(scenario.n_cores)
+    ) if scenario.computing else ()
+    comm = allocation.rate("nic") if scenario.communicating else 0.0
+    return ScenarioResult(
+        scenario=scenario,
+        comp_total_gbps=sum(per_core),
+        comp_per_core_gbps=per_core,
+        comm_gbps=comm,
+        allocation=allocation,
+        streams=tuple(streams),
+    )

@@ -1,0 +1,31 @@
+"""Mini-MPI: a simulated two-node MPI layer.
+
+Models the communication side of the paper's benchmark: a rank running
+on the simulated machine receives messages from a peer machine (assumed
+never to be the bottleneck, matching the paper's receive-side
+measurements), with MadMPI-style threaded progression so transfers
+overlap with computation.
+
+* :mod:`repro.mpi.buffers` — NUMA-bound receive/send buffers;
+* :mod:`repro.mpi.request` — non-blocking request objects;
+* :mod:`repro.mpi.progress` — progression modes (dedicated thread vs
+  polling inside wait);
+* :mod:`repro.mpi.api` — the :class:`SimMPI` world and its
+  ``isend``/``irecv``/``wait`` interface.
+"""
+
+from repro.mpi.api import SimMPI
+from repro.mpi.microbench import MessagePoint, default_message_sizes, message_size_sweep
+from repro.mpi.buffers import SimBuffer
+from repro.mpi.progress import ProgressMode
+from repro.mpi.request import Request
+
+__all__ = [
+    "MessagePoint",
+    "ProgressMode",
+    "Request",
+    "SimBuffer",
+    "SimMPI",
+    "default_message_sizes",
+    "message_size_sweep",
+]

@@ -1,0 +1,272 @@
+"""The :class:`SimMPI` world: a two-node simulated MPI.
+
+Rank 0 runs on the simulated machine under study; rank 1 is the peer
+machine, assumed never to be the bottleneck (the paper measures the
+receive side and keeps the sender idle apart from feeding the wire).
+``irecv`` posts a reception into a NUMA-bound buffer; ``isend`` posts a
+transmission read out of one.  With threaded progression the flows
+advance on the shared fluid engine concurrently with any computation
+flows (e.g. a :class:`~repro.kernels.team.ComputeTeam`), reproducing
+the overlap setting of the paper.
+
+Example
+-------
+>>> from repro.topology import get_platform
+>>> from repro.mpi import SimMPI, SimBuffer
+>>> from repro.units import MB
+>>> world = SimMPI(get_platform("henri"))
+>>> req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+>>> world.wait(req)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.errors import CommunicationError
+from repro.kernels.memops import Kernel
+from repro.kernels.team import ComputeTeam, TeamRun
+from repro.memsim.engine import Engine
+from repro.memsim.paths import stream_path
+from repro.memsim.stream import Stream, StreamKind
+from repro.mpi.buffers import SimBuffer
+from repro.mpi.progress import ProgressMode
+from repro.mpi.request import Request
+from repro.net.fabric import Fabric, fabric_for
+from repro.net.message import NetMessage
+from repro.net.nic import ReceiveEngine
+from repro.net.protocol import RendezvousConfig
+from repro.topology.platforms import Platform
+
+__all__ = ["SimMPI"]
+
+_PEER_RANK = 1
+_SELF_RANK = 0
+
+
+class SimMPI:
+    """Two-node simulated MPI bound to one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        fabric: Fabric | None = None,
+        progress: ProgressMode = ProgressMode.THREAD,
+        rendezvous: RendezvousConfig | None = None,
+    ) -> None:
+        self._platform = platform
+        self._machine = platform.machine
+        self._profile = platform.profile
+        self._engine = Engine(self._machine, self._profile)
+        self._fabric = fabric or fabric_for(self._machine.nic.name)
+        self._progress = progress
+        self._rx = ReceiveEngine(
+            self._machine,
+            self._profile,
+            self._engine,
+            fabric=self._fabric,
+            rendezvous=rendezvous,
+        )
+        self._next_tag = 0
+        self._tx_serial = 0
+        self._pending: list[Request] = []
+
+    # ---- world introspection ----------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The shared fluid engine (submit computation flows here too)."""
+        return self._engine
+
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def fabric(self) -> Fabric:
+        return self._fabric
+
+    @property
+    def progress_mode(self) -> ProgressMode:
+        return self._progress
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    # ---- point-to-point ----------------------------------------------------------
+
+    def irecv(
+        self,
+        buffer: SimBuffer,
+        *,
+        tag: int | None = None,
+        computing_on: int | None = None,
+    ) -> Request:
+        """Post a non-blocking reception into ``buffer``.
+
+        The peer is modelled as having already sent (streaming
+        benchmark semantics): with threaded progression the payload
+        starts flowing immediately.
+        """
+        buffer.validate_on(self._machine)
+        tag = self._take_tag(tag)
+        request = Request(
+            op="recv",
+            nbytes=buffer.nbytes,
+            numa_node=buffer.numa_node,
+            tag=tag,
+            posted_at=self._engine.now,
+        )
+        if self._progress is ProgressMode.THREAD:
+            self._start_recv(request, computing_on)
+        self._pending.append(request)
+        return request
+
+    def isend(
+        self,
+        buffer: SimBuffer,
+        *,
+        tag: int | None = None,
+    ) -> Request:
+        """Post a non-blocking transmission out of ``buffer``.
+
+        Outbound payloads are read from the buffer's NUMA node through
+        the same memory path in the opposite direction; the paper's
+        future-work item on bidirectional movements ("ping-pongs
+        instead of only pongs") is exercised by combining isend and
+        irecv.
+        """
+        buffer.validate_on(self._machine)
+        tag = self._take_tag(tag)
+        request = Request(
+            op="send",
+            nbytes=buffer.nbytes,
+            numa_node=buffer.numa_node,
+            tag=tag,
+            posted_at=self._engine.now,
+        )
+        if self._progress is ProgressMode.THREAD:
+            self._start_send(request)
+        self._pending.append(request)
+        return request
+
+    def wait(self, request: Request) -> float:
+        """Block until ``request`` completes; return the completion time."""
+        if request.done:
+            return request.completion_time()
+        if request not in self._pending:
+            raise CommunicationError("request does not belong to this world")
+        if request.handle is None:
+            # Polling progression: the transfer only starts now.
+            if request.op == "recv":
+                self._start_recv(request, None)
+            else:
+                self._start_send(request)
+        assert request.handle is not None
+        flow = request.handle.flow
+        while not flow.done:
+            if not self._engine.step() and self._engine.active_count == 0:
+                raise CommunicationError(
+                    f"engine idle but request tag={request.tag} incomplete"
+                )
+        request.completed_at = flow.finished_at
+        self._pending.remove(request)
+        return request.completion_time()
+
+    def waitall(self, requests: list[Request]) -> float:
+        """Wait for every request; return the latest completion time."""
+        if not requests:
+            raise CommunicationError("waitall needs at least one request")
+        return max(self.wait(r) for r in requests)
+
+    # ---- overlap convenience -------------------------------------------------------
+
+    def overlap(
+        self,
+        *,
+        n_threads: int,
+        comp_node: int,
+        comm_buffer: SimBuffer,
+        kernel: Kernel,
+        elements_per_thread: int,
+    ) -> tuple[TeamRun, Request]:
+        """Run a compute region overlapped with one reception.
+
+        The one-call version of the paper's benchmark step 3 ("both in
+        parallel"): returns the team run and the completed request.
+        """
+        team = ComputeTeam(
+            self._machine,
+            self._profile,
+            n_threads=n_threads,
+            data_node=comp_node,
+            kernel=kernel,
+        )
+        run = team.run(self._engine, elements_per_thread=elements_per_thread)
+        request = self.irecv(comm_buffer, computing_on=comp_node)
+        self.wait(request)
+        self._engine.run()  # drain the computation flows
+        return run, request
+
+    # ---- internals -----------------------------------------------------------------
+
+    def _take_tag(self, tag: int | None) -> int:
+        if tag is None:
+            self._next_tag += 1
+            return self._next_tag
+        if tag < 0:
+            raise CommunicationError(f"tag must be non-negative, got {tag}")
+        return tag
+
+    def _start_recv(self, request: Request, computing_on: int | None) -> None:
+        message = NetMessage(
+            tag=request.tag,
+            src_rank=_PEER_RANK,
+            dst_rank=_SELF_RANK,
+            nbytes=request.nbytes,
+            dest_node=request.numa_node,
+        )
+        request.handle = self._rx.receive(
+            message, computing_elsewhere_on=computing_on
+        )
+
+    def _start_send(self, request: Request) -> None:
+        """Outbound: a DMA read stream from the buffer's node to the NIC."""
+        nic = self._machine.nic
+        nominal = self._profile.nic_nominal_gbps(
+            request.numa_node, nic.line_rate_gbps
+        )
+        demand = min(nominal, self._fabric.line_rate_gbps)
+        self._tx_serial += 1
+        # Outbound payloads go through the full-duplex port's transmit
+        # side; only the memory path (mesh, link, controller) is shared
+        # with receptions.
+        path = stream_path(
+            self._machine,
+            StreamKind.DMA,
+            origin_socket=nic.socket,
+            target_numa=request.numa_node,
+            transmit=True,
+        )
+        stream = Stream(
+            stream_id=f"nic-tx{self._tx_serial}",
+            kind=StreamKind.DMA,
+            demand_gbps=demand,
+            path=path,
+            target_numa=request.numa_node,
+            origin_socket=nic.socket,
+            min_guarantee_gbps=self._profile.nic_min_fraction * nominal,
+        )
+        flow = self._engine.submit(stream, request.nbytes)
+        request.handle = _SendHandle(flow)  # type: ignore[assignment]
+
+
+class _SendHandle:
+    """Minimal handle wrapper for outbound flows (duck-typed)."""
+
+    def __init__(self, flow) -> None:  # noqa: ANN001 - FlowProgress
+        self.flow = flow
+
+    @property
+    def done(self) -> bool:
+        return self.flow.done

@@ -1,0 +1,41 @@
+"""NUMA-bound communication buffers.
+
+The paper explicitly binds communication data to chosen NUMA nodes
+(via hwloc) so the model's ``m_comm`` parameter is under control; a
+:class:`SimBuffer` carries that binding here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.topology.objects import Machine
+
+__all__ = ["SimBuffer"]
+
+
+@dataclass(frozen=True)
+class SimBuffer:
+    """A registered communication buffer bound to one NUMA node."""
+
+    nbytes: int
+    numa_node: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise CommunicationError(
+                f"buffer size must be positive, got {self.nbytes}"
+            )
+        if self.numa_node < 0:
+            raise CommunicationError("NUMA node must be non-negative")
+
+    def validate_on(self, machine: Machine) -> "SimBuffer":
+        """Check the binding exists and fits on ``machine``."""
+        node = machine.numa_node(self.numa_node)
+        if self.nbytes > node.memory_bytes:
+            raise CommunicationError(
+                f"buffer of {self.nbytes} bytes does not fit on NUMA node "
+                f"{self.numa_node} ({node.memory_bytes} bytes)"
+            )
+        return self

@@ -1,0 +1,84 @@
+"""MPI microbenchmarks: latency / bandwidth over message sizes.
+
+The classic ``osu_bw``-style curve on the simulated machine: one
+reception per message size, reporting end-to-end latency and achieved
+bandwidth.  Exposes the protocol structure (eager for small messages,
+rendezvous handshake above the threshold) and the asymptotic approach
+to the NIC's nominal rate — the regime the paper's 64 MB messages sit
+in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import CommunicationError
+from repro.mpi.api import SimMPI
+from repro.mpi.buffers import SimBuffer
+from repro.net.protocol import Protocol, RendezvousConfig, select_protocol
+from repro.topology.platforms import Platform
+
+__all__ = ["MessagePoint", "message_size_sweep", "default_message_sizes"]
+
+
+@dataclass(frozen=True)
+class MessagePoint:
+    """One message-size measurement."""
+
+    nbytes: int
+    protocol: Protocol
+    latency_s: float
+    bandwidth_gbps: float
+
+
+def default_message_sizes(max_bytes: int = 64 * 2**20) -> list[int]:
+    """Powers of two from 1 KiB up to ``max_bytes`` (inclusive)."""
+    if max_bytes < 1024:
+        raise CommunicationError("max_bytes must be at least 1 KiB")
+    sizes = []
+    size = 1024
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def message_size_sweep(
+    platform: Platform,
+    *,
+    sizes: Sequence[int] | None = None,
+    dest_node: int = 0,
+    rendezvous: RendezvousConfig | None = None,
+) -> list[MessagePoint]:
+    """Measure reception latency and bandwidth per message size.
+
+    Each size is measured on a fresh world (no queueing effects),
+    matching how ping-pong microbenchmarks isolate sizes.
+    """
+    sizes = list(sizes) if sizes is not None else default_message_sizes()
+    if not sizes:
+        raise CommunicationError("sizes must be non-empty")
+    if any(s <= 0 for s in sizes):
+        raise CommunicationError("message sizes must be positive")
+    rendezvous = rendezvous or RendezvousConfig()
+
+    points: list[MessagePoint] = []
+    for nbytes in sizes:
+        world = SimMPI(platform, rendezvous=rendezvous)
+        request = world.irecv(SimBuffer(nbytes, numa_node=dest_node))
+        end = world.wait(request)
+        latency = end - request.posted_at
+        if latency <= 0.0:
+            raise CommunicationError(
+                f"non-positive latency for {nbytes}-byte message"
+            )
+        points.append(
+            MessagePoint(
+                nbytes=nbytes,
+                protocol=select_protocol(nbytes, rendezvous),
+                latency_s=latency,
+                bandwidth_gbps=nbytes / 1e9 / latency,
+            )
+        )
+    return points

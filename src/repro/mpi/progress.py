@@ -1,0 +1,29 @@
+"""Communication progression modes.
+
+The paper's harness dedicates one core to a communication thread,
+"mimicking the working of runtime systems such as StarPU or PaRSEC";
+the cited works [9, 10] show threaded progression is what makes
+communication/computation overlap actually happen.  The mini-MPI layer
+models both worlds:
+
+* :attr:`ProgressMode.THREAD` — a dedicated progression thread: the
+  transfer advances from the moment it is posted, overlapping
+  computation (the paper's setting);
+* :attr:`ProgressMode.POLLING` — progression only happens inside
+  ``wait``: the payload does not move until the application blocks,
+  destroying overlap (the classic non-threaded MPI pitfall).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ProgressMode"]
+
+
+class ProgressMode(enum.Enum):
+    """Whether transfers progress from posting (THREAD, the paper's
+    dedicated communication core) or only inside wait() (POLLING)."""
+
+    THREAD = "thread"
+    POLLING = "polling"

@@ -1,0 +1,48 @@
+"""Non-blocking request objects (the ``MPI_Request`` equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CommunicationError
+from repro.net.nic import TransferHandle
+
+__all__ = ["Request"]
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation.
+
+    In :attr:`~repro.mpi.progress.ProgressMode.POLLING` mode a request
+    may exist before its transfer is scheduled (``handle is None``);
+    :class:`~repro.mpi.api.SimMPI` attaches the handle when progression
+    happens.
+    """
+
+    op: str  # "send" or "recv"
+    nbytes: int
+    numa_node: int
+    tag: int
+    posted_at: float
+    handle: TransferHandle | None = None
+    completed_at: float | None = field(default=None)
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def completion_time(self) -> float:
+        if self.completed_at is None:
+            raise CommunicationError(
+                f"{self.op} request (tag={self.tag}) has not completed; "
+                "call SimMPI.wait() first"
+            )
+        return self.completed_at
+
+    def observed_gbps(self) -> float:
+        """End-to-end bandwidth from posting to completion."""
+        elapsed = self.completion_time() - self.posted_at
+        if elapsed <= 0.0:
+            raise CommunicationError("request completed in zero time")
+        return self.nbytes / 1e9 / elapsed

@@ -1,0 +1,200 @@
+"""Two-machine cluster: end-to-end transfers across both memory systems.
+
+The paper's harness keeps the *sender* idle and measures the receive
+side (§IV-A1), so its model never needs the peer machine.  This module
+supplies the full substrate anyway: both machines' resources live in a
+single arbitration domain, the fabric is one more shared pipe, and a
+message is a *single* stream whose path runs
+
+    sender controller → sender mesh → (sender link) → sender PCIe-tx →
+    sender NIC-tx → fabric → receiver NIC → receiver PCIe →
+    receiver mesh → (receiver link) → receiver controller
+
+so a transfer's steady-state rate is bottlenecked by whichever side
+(or the wire) is busiest — including contention from computations
+running on the *sender*, the experiment the paper's independence
+assumption excludes (see ``benchmarks/bench_extension_cluster.py``).
+
+Resource ids are prefixed ``m0:`` / ``m1:`` per machine; the fabric is
+``wire:0<->1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError, SimulationError
+from repro.memsim.paths import ResourceMap, build_resources, stream_path
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.resource import Resource, ResourceKind
+from repro.memsim.stream import Stream, StreamKind
+from repro.net.fabric import Fabric
+from repro.topology.objects import Machine
+from repro.topology.platforms import Platform
+
+__all__ = ["Cluster", "build_cluster_resources", "transfer_stream"]
+
+WIRE_ID = "wire:0<->1"
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Two platforms joined by a fabric."""
+
+    node0: Platform
+    node1: Platform
+    fabric: Fabric
+
+    def machine(self, rank: int) -> Machine:
+        return (self.node0 if rank == 0 else self.node1).machine
+
+    def profile(self, rank: int) -> ContentionProfile:
+        return (self.node0 if rank == 0 else self.node1).profile
+
+    def __post_init__(self) -> None:
+        if self.node0.machine.name == self.node1.machine.name:
+            # Allowed (homogeneous clusters are the norm) but the
+            # prefixes keep the resources apart; nothing to validate.
+            pass
+
+
+def _prefix_map(rank: int, resources: ResourceMap) -> dict[str, Resource]:
+    out: dict[str, Resource] = {}
+    for rid in resources.ids():
+        resource = resources[rid]
+        new_id = f"m{rank}:{rid}"
+        out[new_id] = Resource(
+            resource_id=new_id,
+            kind=resource.kind,
+            capacity_gbps=resource.capacity_gbps,
+            remote_capacity_gbps=resource.remote_capacity_gbps,
+            socket=resource.socket,
+        )
+    return out
+
+
+def build_cluster_resources(cluster: Cluster) -> ResourceMap:
+    """The union resource map: both machines plus the wire."""
+    resources: dict[str, Resource] = {}
+    for rank, platform in ((0, cluster.node0), (1, cluster.node1)):
+        resources.update(
+            _prefix_map(
+                rank, build_resources(platform.machine, platform.profile)
+            )
+        )
+    resources[WIRE_ID] = Resource(
+        resource_id=WIRE_ID,
+        kind=ResourceKind.NIC_PORT,
+        capacity_gbps=cluster.fabric.line_rate_gbps,
+    )
+    return ResourceMap(machine_name="cluster", resources=resources)
+
+
+def _prefixed(rank: int, path: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(f"m{rank}:{rid}" for rid in path)
+
+
+def transfer_stream(
+    cluster: Cluster,
+    *,
+    stream_id: str,
+    src_rank: int,
+    src_node: int,
+    dst_node: int,
+    nominal_gbps: float | None = None,
+) -> Stream:
+    """One end-to-end message stream from ``src_rank`` to the other rank.
+
+    ``src_node`` / ``dst_node`` are the NUMA nodes holding the send and
+    receive buffers on their respective machines.
+    """
+    if src_rank not in (0, 1):
+        raise CommunicationError(f"src_rank must be 0 or 1, got {src_rank}")
+    dst_rank = 1 - src_rank
+    src_machine = cluster.machine(src_rank)
+    dst_machine = cluster.machine(dst_rank)
+    src_profile = cluster.profile(src_rank)
+    dst_profile = cluster.profile(dst_rank)
+
+    tx_path = stream_path(
+        src_machine,
+        StreamKind.DMA,
+        origin_socket=src_machine.nic.socket,
+        target_numa=src_node,
+        transmit=True,
+    )
+    rx_path = stream_path(
+        dst_machine,
+        StreamKind.DMA,
+        origin_socket=dst_machine.nic.socket,
+        target_numa=dst_node,
+    )
+    # The transmit path is built destination-last (toward the source
+    # buffer's controller); flow order for the message is the reverse:
+    # from the source controller out to the NIC.
+    full_path = (
+        _prefixed(src_rank, tuple(reversed(tx_path)))
+        + (WIRE_ID,)
+        + _prefixed(dst_rank, rx_path)
+    )
+
+    ceiling = min(
+        src_profile.nic_nominal_gbps(src_node, src_machine.nic.line_rate_gbps),
+        dst_profile.nic_nominal_gbps(dst_node, dst_machine.nic.line_rate_gbps),
+        cluster.fabric.line_rate_gbps,
+    )
+    if nominal_gbps is not None:
+        if nominal_gbps <= 0:
+            raise CommunicationError("nominal_gbps must be positive")
+        ceiling = min(ceiling, nominal_gbps)
+
+    floor = dst_profile.nic_min_fraction * ceiling
+    return Stream(
+        stream_id=stream_id,
+        kind=StreamKind.DMA,
+        demand_gbps=ceiling,
+        path=full_path,
+        target_numa=dst_node,
+        origin_socket=dst_machine.nic.socket,
+        min_guarantee_gbps=floor,
+    )
+
+
+def compute_streams(
+    cluster: Cluster,
+    *,
+    rank: int,
+    n_cores: int,
+    data_node: int,
+    id_prefix: str | None = None,
+) -> list[Stream]:
+    """Computation streams on one cluster node (prefixed resources)."""
+    if rank not in (0, 1):
+        raise CommunicationError(f"rank must be 0 or 1, got {rank}")
+    machine = cluster.machine(rank)
+    profile = cluster.profile(rank)
+    if n_cores < 1 or n_cores > machine.cores_per_socket:
+        raise SimulationError(
+            f"n_cores must be in 1..{machine.cores_per_socket}"
+        )
+    local = machine.socket_of_numa(data_node) == 0
+    demand = profile.core_stream_gbps(local=local)
+    path = _prefixed(
+        rank,
+        stream_path(
+            machine, StreamKind.CPU, origin_socket=0, target_numa=data_node
+        ),
+    )
+    prefix = id_prefix if id_prefix is not None else f"m{rank}core"
+    return [
+        Stream(
+            stream_id=f"{prefix}{i}",
+            kind=StreamKind.CPU,
+            demand_gbps=demand,
+            path=path,
+            target_numa=data_node,
+            origin_socket=0,
+            issue_gbps=profile.core_stream_local_gbps,
+        )
+        for i in range(n_cores)
+    ]

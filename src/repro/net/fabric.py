@@ -1,0 +1,58 @@
+"""Network fabrics: the wire between the two machines.
+
+The paper's testbed uses InfiniBand (EDR/FDR/HDR) and Omni-Path.  A
+:class:`Fabric` contributes per-message latency and a line-rate ceiling;
+end-to-end bandwidth is then the minimum of the wire and the receive
+side's memory path (which the memory-system simulator arbitrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.units import gbit_to_gbyte
+
+__all__ = ["Fabric", "FABRICS", "fabric_for"]
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """A point-to-point network fabric."""
+
+    name: str
+    line_rate_gbps: float  # GB/s (bytes, not bits)
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0.0:
+            raise CommunicationError("fabric line rate must be positive")
+        if self.latency_s < 0.0:
+            raise CommunicationError("fabric latency must be non-negative")
+
+    def wire_time(self, nbytes: int) -> float:
+        """Pure wire time for ``nbytes`` (latency + serialisation)."""
+        if nbytes < 0:
+            raise CommunicationError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency_s + nbytes / (self.line_rate_gbps * 1e9)
+
+
+#: Catalogue of the fabrics appearing in Table I.
+FABRICS: dict[str, Fabric] = {
+    "infiniband-fdr": Fabric("InfiniBand FDR", gbit_to_gbyte(56), 0.7e-6),
+    "infiniband-edr": Fabric("InfiniBand EDR", gbit_to_gbyte(100), 0.6e-6),
+    "infiniband-hdr": Fabric("InfiniBand HDR", gbit_to_gbyte(200), 0.6e-6),
+    "omni-path": Fabric("Omni-Path 100", gbit_to_gbyte(100), 0.9e-6),
+}
+
+
+def fabric_for(nic_name: str) -> Fabric:
+    """Pick the catalogue fabric matching a NIC's name (best effort)."""
+    lowered = nic_name.lower()
+    for key, fabric in FABRICS.items():
+        suffix = key.rsplit("-", 1)[-1]
+        if suffix in lowered:
+            return fabric
+    if "omni" in lowered:
+        return FABRICS["omni-path"]
+    return FABRICS["infiniband-edr"]

@@ -1,0 +1,34 @@
+"""Network message descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+
+__all__ = ["NetMessage"]
+
+
+@dataclass(frozen=True)
+class NetMessage:
+    """One point-to-point message.
+
+    ``dest_node`` is the NUMA node the receive buffer is bound to —
+    the ``m_comm`` of the contention model.
+    """
+
+    tag: int
+    src_rank: int
+    dst_rank: int
+    nbytes: int
+    dest_node: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise CommunicationError(
+                f"message must carry a positive byte count, got {self.nbytes}"
+            )
+        if self.src_rank == self.dst_rank:
+            raise CommunicationError("loopback messages are not modelled")
+        if self.src_rank < 0 or self.dst_rank < 0:
+            raise CommunicationError("ranks must be non-negative")

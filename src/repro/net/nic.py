@@ -1,0 +1,137 @@
+"""NIC receive engine: arriving messages become DMA flows.
+
+The receive engine is the glue between the network substrate and the
+memory-system simulator.  For each arriving message it builds the DMA
+stream of the contention model — NIC port → PCIe → socket mesh →
+(link) → destination controller — with the platform's locality quirks
+applied, and submits it to the fluid engine after the protocol's
+startup delay.  The end-to-end rate then emerges from arbitration; the
+fabric's line rate caps the stream demand so a slow wire is honoured
+too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.memsim.engine import Engine, FlowProgress
+from repro.memsim.paths import stream_path
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.stream import Stream, StreamKind
+from repro.net.fabric import Fabric
+from repro.net.message import NetMessage
+from repro.net.protocol import Protocol, RendezvousConfig, select_protocol
+from repro.topology.objects import Machine
+
+__all__ = ["TransferHandle", "ReceiveEngine"]
+
+
+@dataclass(frozen=True)
+class TransferHandle:
+    """An in-flight (or completed) message reception."""
+
+    message: NetMessage
+    protocol: Protocol
+    flow: FlowProgress
+    startup_delay_s: float
+
+    @property
+    def done(self) -> bool:
+        return self.flow.done
+
+    def completion_time(self) -> float:
+        if self.flow.finished_at is None:
+            raise CommunicationError(
+                f"message tag={self.message.tag} has not completed"
+            )
+        return self.flow.finished_at
+
+    def observed_gbps(self) -> float:
+        """End-to-end bandwidth including the protocol startup delay."""
+        end = self.completion_time()
+        elapsed = end - self.flow.submitted_at + self.startup_delay_s
+        if elapsed <= 0.0:
+            raise CommunicationError("transfer completed in zero time")
+        return self.message.nbytes / 1e9 / elapsed
+
+
+class ReceiveEngine:
+    """Turns arriving messages into DMA flows on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        profile: ContentionProfile,
+        engine: Engine,
+        *,
+        fabric: Fabric,
+        rendezvous: RendezvousConfig | None = None,
+    ) -> None:
+        self._machine = machine
+        self._profile = profile
+        self._engine = engine
+        self._fabric = fabric
+        self._rendezvous = rendezvous or RendezvousConfig()
+        self._serial = 0
+
+    def dma_stream(
+        self, dest_node: int, *, computing_elsewhere_on: int | None = None
+    ) -> Stream:
+        """Build the DMA stream for a reception into ``dest_node``.
+
+        ``computing_elsewhere_on`` is the NUMA node active computations
+        target, used to apply the platform's cross-node NIC penalty
+        (pyxis quirk) exactly as the benchmark scenarios do.
+        """
+        nic = self._machine.nic
+        nominal = self._profile.nic_nominal_gbps(dest_node, nic.line_rate_gbps)
+        if (
+            computing_elsewhere_on is not None
+            and self._profile.nic_cross_penalty > 0.0
+            and computing_elsewhere_on != dest_node
+        ):
+            nominal *= 1.0 - self._profile.nic_cross_penalty
+        demand = min(nominal, self._fabric.line_rate_gbps)
+        self._serial += 1
+        return Stream(
+            stream_id=f"nic-rx{self._serial}",
+            kind=StreamKind.DMA,
+            demand_gbps=demand,
+            path=stream_path(
+                self._machine,
+                StreamKind.DMA,
+                origin_socket=nic.socket,
+                target_numa=dest_node,
+            ),
+            target_numa=dest_node,
+            origin_socket=nic.socket,
+            min_guarantee_gbps=self._profile.nic_min_fraction * nominal,
+        )
+
+    def receive(
+        self,
+        message: NetMessage,
+        *,
+        at: float | None = None,
+        computing_elsewhere_on: int | None = None,
+    ) -> TransferHandle:
+        """Schedule the reception of ``message``.
+
+        The payload flow starts after the protocol startup delay
+        (rendezvous handshake for large messages) plus the fabric's
+        base latency.
+        """
+        protocol = select_protocol(message.nbytes, self._rendezvous)
+        delay = self._rendezvous.startup_delay(protocol) + self._fabric.latency_s
+        start = (self._engine.now if at is None else at) + delay
+        stream = self.dma_stream(
+            message.dest_node, computing_elsewhere_on=computing_elsewhere_on
+        )
+        flow = self._engine.submit(stream, message.nbytes, at=start)
+        return TransferHandle(
+            message=message,
+            protocol=protocol,
+            flow=flow,
+            startup_delay_s=delay,
+        )

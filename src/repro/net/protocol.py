@@ -1,0 +1,61 @@
+"""Transfer protocols: eager vs rendezvous.
+
+MPI implementations (including MadMPI, the paper's library) send small
+messages *eagerly* — the payload travels immediately and is copied into
+the receive buffer when it is posted — and large messages through a
+*rendezvous*: a ready-to-send / clear-to-send handshake, then a
+zero-copy DMA straight into the registered receive buffer.  The paper's
+64 MB messages are firmly in rendezvous territory, which is why the NIC
+writes directly into the buffer's NUMA node and contends with the
+computation there.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CommunicationError
+from repro.units import KiB
+
+__all__ = ["Protocol", "RendezvousConfig", "select_protocol"]
+
+
+class Protocol(enum.Enum):
+    """How a message's payload travels: immediately (eager) or after a
+    ready-to-send / clear-to-send handshake (rendezvous)."""
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+
+@dataclass(frozen=True)
+class RendezvousConfig:
+    """Protocol selection and handshake costs."""
+
+    #: Messages up to this size (bytes) go eager (MadMPI-like default).
+    eager_threshold: int = 32 * KiB
+    #: One-way control-message latencies of the RTS/CTS handshake.
+    handshake_latency_s: float = 1.2e-6
+
+    def __post_init__(self) -> None:
+        if self.eager_threshold < 0:
+            raise CommunicationError("eager threshold must be >= 0")
+        if self.handshake_latency_s < 0:
+            raise CommunicationError("handshake latency must be >= 0")
+
+    def startup_delay(self, protocol: Protocol) -> float:
+        """Time before payload bytes start flowing."""
+        if protocol is Protocol.RENDEZVOUS:
+            # RTS + CTS round trip.
+            return 2.0 * self.handshake_latency_s
+        return 0.0
+
+
+def select_protocol(nbytes: int, config: RendezvousConfig) -> Protocol:
+    """Pick the transfer protocol for a message size."""
+    if nbytes <= 0:
+        raise CommunicationError(f"nbytes must be positive, got {nbytes}")
+    if nbytes <= config.eager_threshold:
+        return Protocol.EAGER
+    return Protocol.RENDEZVOUS

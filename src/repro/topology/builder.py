@@ -1,0 +1,207 @@
+"""Fluent builder for :class:`~repro.topology.objects.Machine`.
+
+Constructing a valid machine by hand requires keeping global core and
+NUMA indices consistent across sockets.  The builder owns that
+bookkeeping; platform factories and tests use it instead of stitching
+dataclasses together.
+
+Example
+-------
+>>> from repro.topology import MachineBuilder
+>>> machine = (
+...     MachineBuilder("toy")
+...     .processor("Toy CPU", cores_per_socket=4, sockets=2)
+...     .numa(nodes_per_socket=1, memory_bytes=32 * 2**30, controller_gbps=50.0)
+...     .interconnect(gbps=20.0, name="UPI")
+...     .network("toy-ib", line_rate_gbps=12.5, pcie_gbps=14.0, socket=0)
+...     .build()
+... )
+>>> machine.n_cores, machine.n_numa_nodes
+(8, 2)
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import TopologyError
+from repro.topology.objects import Cache, Core, Link, Machine, Nic, NumaNode, Socket
+
+__all__ = ["MachineBuilder"]
+
+
+class MachineBuilder:
+    """Accumulates machine attributes, then emits a validated tree."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise TopologyError("machine name must be non-empty")
+        self._name = name
+        self._processor_name: str | None = None
+        self._cores_per_socket: int | None = None
+        self._n_sockets: int | None = None
+        self._nodes_per_socket: int | None = None
+        self._memory_bytes: int | None = None
+        self._controller_gbps: float | None = None
+        self._link_gbps: float | None = None
+        self._link_name: str = "UPI"
+        self._nic: dict[str, object] | None = None
+        self._caches: list[Cache] = []
+        self._metadata: dict[str, str] = {}
+
+    # ---- configuration steps -------------------------------------------------
+
+    def processor(
+        self, name: str, *, cores_per_socket: int, sockets: int = 2
+    ) -> "MachineBuilder":
+        """Declare the processor model and socket/core counts."""
+        if cores_per_socket < 1:
+            raise TopologyError("cores_per_socket must be >= 1")
+        if sockets < 1:
+            raise TopologyError("sockets must be >= 1")
+        self._processor_name = name
+        self._cores_per_socket = cores_per_socket
+        self._n_sockets = sockets
+        return self
+
+    def numa(
+        self,
+        *,
+        nodes_per_socket: int,
+        memory_bytes: int,
+        controller_gbps: float,
+    ) -> "MachineBuilder":
+        """Declare the NUMA layout.  ``memory_bytes`` is per node."""
+        if nodes_per_socket < 1:
+            raise TopologyError("nodes_per_socket must be >= 1")
+        self._nodes_per_socket = nodes_per_socket
+        self._memory_bytes = memory_bytes
+        self._controller_gbps = controller_gbps
+        return self
+
+    def interconnect(self, *, gbps: float, name: str = "UPI") -> "MachineBuilder":
+        """Declare the inter-socket link (ignored on single-socket builds)."""
+        self._link_gbps = gbps
+        self._link_name = name
+        return self
+
+    def network(
+        self,
+        name: str,
+        *,
+        line_rate_gbps: float,
+        pcie_gbps: float,
+        socket: int = 0,
+        numa: int | None = None,
+    ) -> "MachineBuilder":
+        """Declare the NIC and its attachment point.
+
+        ``numa`` defaults to the first NUMA node of the attachment
+        socket (resolved at :meth:`build`, once the NUMA layout is
+        known).
+        """
+        self._nic = {
+            "name": name,
+            "line_rate_gbps": line_rate_gbps,
+            "pcie_gbps": pcie_gbps,
+            "socket": socket,
+            "numa": numa,
+        }
+        return self
+
+    def cache(self, *, level: int, size_bytes: int, shared_by: int) -> "MachineBuilder":
+        """Add a per-socket cache level (descriptive only, see §II-C)."""
+        self._caches.append(Cache(level=level, size_bytes=size_bytes, shared_by=shared_by))
+        return self
+
+    def meta(self, **fields: str) -> "MachineBuilder":
+        """Attach Table I metadata fields (processor, memory, network…)."""
+        self._metadata.update(fields)
+        return self
+
+    # ---- assembly -------------------------------------------------------------
+
+    def build(self) -> Machine:
+        """Validate accumulated state and emit the machine tree."""
+        if self._processor_name is None or self._cores_per_socket is None:
+            raise TopologyError("processor() must be called before build()")
+        if (
+            self._nodes_per_socket is None
+            or self._memory_bytes is None
+            or self._controller_gbps is None
+        ):
+            raise TopologyError("numa() must be called before build()")
+        if self._nic is None:
+            raise TopologyError("network() must be called before build()")
+        assert self._n_sockets is not None
+
+        if self._n_sockets > 1 and self._link_gbps is None:
+            raise TopologyError(
+                "interconnect() must be called for multi-socket machines"
+            )
+
+        sockets: list[Socket] = []
+        for s in range(self._n_sockets):
+            cores = tuple(
+                Core(index=s * self._cores_per_socket + c, socket=s)
+                for c in range(self._cores_per_socket)
+            )
+            nodes = tuple(
+                NumaNode(
+                    index=s * self._nodes_per_socket + m,
+                    socket=s,
+                    memory_bytes=self._memory_bytes,
+                    controller_gbps=self._controller_gbps,
+                )
+                for m in range(self._nodes_per_socket)
+            )
+            sockets.append(
+                Socket(
+                    index=s,
+                    name=self._processor_name,
+                    cores=cores,
+                    numa_nodes=nodes,
+                    caches=tuple(self._caches),
+                )
+            )
+
+        links: tuple[Link, ...] = ()
+        if self._n_sockets > 1:
+            assert self._link_gbps is not None
+            links = tuple(
+                Link(socket_a=a, socket_b=b, gbps=self._link_gbps, name=self._link_name)
+                for a, b in combinations(range(self._n_sockets), 2)
+            )
+
+        nic_socket = int(self._nic["socket"])  # type: ignore[arg-type]
+        if not 0 <= nic_socket < self._n_sockets:
+            raise TopologyError(
+                f"NIC socket {nic_socket} out of range (0..{self._n_sockets - 1})"
+            )
+        nic_numa = self._nic["numa"]
+        if nic_numa is None:
+            nic_numa = nic_socket * self._nodes_per_socket
+        nic_numa = int(nic_numa)  # type: ignore[arg-type]
+        node_lo = nic_socket * self._nodes_per_socket
+        node_hi = node_lo + self._nodes_per_socket
+        if not node_lo <= nic_numa < node_hi:
+            raise TopologyError(
+                f"NIC NUMA node {nic_numa} is not on its socket {nic_socket} "
+                f"(expected {node_lo}..{node_hi - 1})"
+            )
+
+        nic = Nic(
+            name=str(self._nic["name"]),
+            socket=nic_socket,
+            numa=nic_numa,
+            line_rate_gbps=float(self._nic["line_rate_gbps"]),  # type: ignore[arg-type]
+            pcie_gbps=float(self._nic["pcie_gbps"]),  # type: ignore[arg-type]
+        )
+
+        return Machine(
+            name=self._name,
+            sockets=tuple(sockets),
+            links=links,
+            nic=nic,
+            metadata=dict(self._metadata),
+        )

@@ -1,0 +1,39 @@
+"""NUMA distance matrices (ACPI SLIT-style).
+
+Real machines publish a relative-latency matrix between NUMA nodes
+(``numactl --hardware``).  The model itself only needs local/remote
+classification, but the distance matrix is useful to the advisor (rank
+candidate placements) and to render familiar topology summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.objects import Machine
+
+__all__ = ["distance_matrix", "LOCAL_DISTANCE", "SIBLING_DISTANCE", "REMOTE_DISTANCE"]
+
+#: Conventional SLIT values: 10 for self, 12 for a sibling node on the
+#: same socket (sub-NUMA clustering), 21 for a node across the link.
+LOCAL_DISTANCE: int = 10
+SIBLING_DISTANCE: int = 12
+REMOTE_DISTANCE: int = 21
+
+
+def distance_matrix(machine: Machine) -> np.ndarray:
+    """Return the ``k × k`` NUMA distance matrix of ``machine``.
+
+    Entry ``[i, j]`` is the relative cost for an agent near node ``i``
+    to access node ``j``: 10 on the diagonal, 12 between sibling nodes
+    of one socket, 21 across sockets — the conventional SLIT encoding.
+    """
+    k = machine.n_numa_nodes
+    if k == 0:
+        raise TopologyError("machine has no NUMA nodes")
+    sockets = np.array([machine.socket_of_numa(i) for i in range(k)])
+    same_socket = sockets[:, None] == sockets[None, :]
+    matrix = np.where(same_socket, SIBLING_DISTANCE, REMOTE_DISTANCE)
+    np.fill_diagonal(matrix, LOCAL_DISTANCE)
+    return matrix.astype(np.int64)

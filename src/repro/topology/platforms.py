@@ -1,0 +1,337 @@
+"""The six testbed platforms of the paper's Table I.
+
+Each factory returns a :class:`Platform` — a validated
+:class:`~repro.topology.objects.Machine` plus the
+:class:`~repro.memsim.profile.ContentionProfile` describing how its
+memory system behaves under contention.
+
+Capacities are *synthetic but faithful to the published behaviour*
+(substitution ledger, DESIGN.md §6): the absolute numbers are chosen so
+the simulated curves exhibit the shapes the paper reports for each
+platform —
+
+* **henri** — clear contention; communications throttled noticeably
+  before the saturation threshold on the local/local placement (the
+  model's known flaw, §IV-B a);
+* **henri-subnuma** — same silicon exposed as 4 NUMA nodes; contention
+  only on the diagonal placements (→ the bottleneck is the memory
+  controller, not the inter-socket link, §IV-C2);
+* **dahu** — Intel + Omni-Path, behaviour similar to henri;
+* **diablo** — AMD EPYC whose NIC bandwidth is highly
+  locality-sensitive (12.1 GB/s to node 0 vs 22.4 GB/s to node 1 where
+  the NIC is plugged), and almost no contention (§IV-B c);
+* **pyxis** — ARM ThunderX2 with soft saturation (computation bandwidth
+  stops scaling before the threshold) and unstable, hard-to-predict
+  network performance (§IV-B e) — the platform where the paper's model
+  errs the most on communications;
+* **occigen** — older Xeon, only computations are impacted, and only on
+  remote/remote placements; the model's most accurate platform
+  (§IV-B d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TopologyError
+from repro.memsim.profile import ContentionProfile
+from repro.topology.builder import MachineBuilder
+from repro.topology.objects import Machine
+from repro.topology.validate import validate_machine
+from repro.units import GiB
+
+__all__ = [
+    "Platform",
+    "henri",
+    "henri_subnuma",
+    "dahu",
+    "diablo",
+    "pyxis",
+    "occigen",
+    "PLATFORMS",
+    "platform_names",
+    "get_platform",
+]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A machine plus its contention behaviour — one row of Table I."""
+
+    machine: Machine
+    profile: ContentionProfile
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.machine.cores_per_socket
+
+    @property
+    def nodes_per_socket(self) -> int:
+        return self.machine.nodes_per_socket
+
+    def sample_local_node(self) -> int:
+        """NUMA node used to calibrate the local model (first node, socket 0)."""
+        return self.machine.local_nodes(0)[0]
+
+    def sample_remote_node(self) -> int:
+        """NUMA node used to calibrate the remote model (first node, socket 1).
+
+        Matches §IV-A2: "memory located on the first NUMA node of the
+        second socket for the remote model".
+        """
+        remote = self.machine.remote_nodes(0)
+        if not remote:
+            raise TopologyError(
+                f"platform {self.name!r} has a single socket: no remote node"
+            )
+        return remote[0]
+
+
+def henri() -> Platform:
+    """henri: 2 × Intel Xeon Gold 6140 (18 cores), 96 GB, 2 NUMA, InfiniBand."""
+    machine = (
+        MachineBuilder("henri")
+        .processor("Intel Xeon Gold 6140", cores_per_socket=18, sockets=2)
+        .numa(nodes_per_socket=1, memory_bytes=48 * GiB, controller_gbps=88.0)
+        .interconnect(gbps=42.0, name="UPI")
+        .network("InfiniBand EDR", line_rate_gbps=12.3, pcie_gbps=13.8, socket=0)
+        .cache(level=3, size_bytes=24_750_000, shared_by=18)
+        .meta(
+            processor="2 x INTEL Xeon Gold 6140 with 18 cores",
+            memory="96 GB of RAM, 2 NUMA nodes",
+            network="INFINIBAND",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=6.8,
+        core_stream_remote_gbps=2.7,
+        nic_min_fraction=0.42,
+        sag_onset=0.78,
+        sag_span=0.24,
+        interference_core_gbps=0.45,
+        interference_mixed_gbps=1.0,
+        dma_concurrency_bonus=0.04,
+        remote_capacity_fraction=0.46,
+        comp_noise_sigma=0.004,
+        comm_noise_sigma=0.008,
+    )
+    return Platform(machine=validate_machine(machine), profile=profile)
+
+
+def henri_subnuma() -> Platform:
+    """henri with sub-NUMA clustering: the same silicon, 4 NUMA nodes."""
+    machine = (
+        MachineBuilder("henri-subnuma")
+        .processor("Intel Xeon Gold 6140", cores_per_socket=18, sockets=2)
+        .numa(nodes_per_socket=2, memory_bytes=24 * GiB, controller_gbps=46.0)
+        .interconnect(gbps=42.0, name="UPI")
+        .network("InfiniBand EDR", line_rate_gbps=12.3, pcie_gbps=13.8, socket=0)
+        .cache(level=3, size_bytes=24_750_000, shared_by=18)
+        .meta(
+            processor="2 x INTEL Xeon Gold 6140 with 18 cores",
+            memory="96 GB of RAM, 4 NUMA nodes",
+            network="INFINIBAND",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=6.8,
+        core_stream_remote_gbps=2.7,
+        nic_min_fraction=0.40,
+        sag_onset=0.78,
+        sag_span=0.24,
+        interference_core_gbps=0.30,
+        interference_mixed_gbps=0.7,
+        dma_concurrency_bonus=0.04,
+        remote_capacity_fraction=0.50,
+        comp_noise_sigma=0.005,
+        comm_noise_sigma=0.010,
+    )
+    return Platform(machine=validate_machine(machine), profile=profile)
+
+
+def dahu() -> Platform:
+    """dahu: 2 × Intel Xeon Gold 6130 (16 cores), 192 GB, 2 NUMA, Omni-Path."""
+    machine = (
+        MachineBuilder("dahu")
+        .processor("Intel Xeon Gold 6130", cores_per_socket=16, sockets=2)
+        .numa(nodes_per_socket=1, memory_bytes=96 * GiB, controller_gbps=80.0)
+        .interconnect(gbps=41.6, name="UPI")
+        .network("Omni-Path 100", line_rate_gbps=11.2, pcie_gbps=13.0, socket=0)
+        .cache(level=3, size_bytes=22_528_000, shared_by=16)
+        .meta(
+            processor="2 x INTEL Xeon Gold 6130 with 16 cores",
+            memory="192 GB of RAM, 2 NUMA nodes",
+            network="OMNI-PATH",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=6.5,
+        core_stream_remote_gbps=2.9,
+        nic_min_fraction=0.48,
+        sag_onset=0.78,
+        sag_span=0.24,
+        interference_core_gbps=0.40,
+        interference_mixed_gbps=0.9,
+        dma_concurrency_bonus=0.03,
+        remote_capacity_fraction=0.47,
+        comp_noise_sigma=0.006,
+        comm_noise_sigma=0.012,
+    )
+    return Platform(machine=validate_machine(machine), profile=profile)
+
+
+def diablo() -> Platform:
+    """diablo: 2 × AMD EPYC 7452 (32 cores), 256 GB, 2 NUMA, InfiniBand HDR.
+
+    The NIC is plugged to the *second* NUMA node: transfers landing on
+    node 0 reach only ~12.1 GB/s while node 1 gets ~22.4 GB/s (§IV-B c).
+    """
+    machine = (
+        MachineBuilder("diablo")
+        .processor("AMD EPYC 7452", cores_per_socket=32, sockets=2)
+        .numa(nodes_per_socket=1, memory_bytes=128 * GiB, controller_gbps=145.0)
+        .interconnect(gbps=70.0, name="Infinity Fabric")
+        .network(
+            "InfiniBand HDR", line_rate_gbps=25.0, pcie_gbps=26.0, socket=1
+        )
+        .cache(level=3, size_bytes=128 * 2**20, shared_by=32)
+        .meta(
+            processor="2 x AMD EPYC 7452 with 32 cores",
+            memory="256 GB of RAM, 2 NUMA nodes",
+            network="INFINIBAND",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=3.6,
+        core_stream_remote_gbps=2.1,
+        nic_min_fraction=0.60,
+        sag_onset=0.94,
+        sag_span=0.40,
+        interference_core_gbps=0.25,
+        interference_mixed_gbps=0.5,
+        dma_concurrency_bonus=0.02,
+        remote_capacity_fraction=0.62,
+        nic_locality_gbps={0: 12.1, 1: 22.4},
+        comp_noise_sigma=0.004,
+        comm_noise_sigma=0.009,
+    )
+    return Platform(machine=validate_machine(machine), profile=profile)
+
+
+def pyxis() -> Platform:
+    """pyxis: 2 × Cavium ThunderX2 99xx (32 cores), 256 GB, 2 NUMA, InfiniBand.
+
+    Soft saturation (computation bandwidth stops scaling before the
+    threshold) plus unstable, locality-entangled network performance:
+    the platform where the paper's model errs most on communications.
+    """
+    machine = (
+        MachineBuilder("pyxis")
+        .processor("CAVIUM-ARM ThunderX2 99xx", cores_per_socket=32, sockets=2)
+        .numa(nodes_per_socket=1, memory_bytes=128 * GiB, controller_gbps=95.0)
+        .interconnect(gbps=60.0, name="CCPI2")
+        .network("InfiniBand EDR", line_rate_gbps=12.3, pcie_gbps=13.5, socket=0)
+        .cache(level=3, size_bytes=32 * 2**20, shared_by=32)
+        .meta(
+            processor="2 x CAVIUM-ARM ThunderX2 99xx with 32 cores",
+            memory="256 GB of RAM, 2 NUMA nodes",
+            network="INFINIBAND",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=3.4,
+        core_stream_remote_gbps=1.9,
+        nic_min_fraction=0.45,
+        sag_onset=0.85,
+        sag_span=0.65,
+        interference_core_gbps=0.35,
+        interference_mixed_gbps=0.8,
+        dma_concurrency_bonus=0.02,
+        remote_capacity_fraction=0.52,
+        nic_locality_gbps={0: 11.6, 1: 9.7},
+        saturation_sharpness=5.0,
+        nic_cross_penalty=0.13,
+        comp_noise_sigma=0.010,
+        comm_noise_sigma=0.020,
+    )
+    return Platform(machine=validate_machine(machine), profile=profile)
+
+
+def occigen() -> Platform:
+    """occigen: 2 × Intel Xeon E5-2690v4 (14 cores), 64 GB, 2 NUMA, InfiniBand.
+
+    Production platform (2014): communications are never impacted (the
+    NIC keeps its full bandwidth; ``nic_min_fraction = 1``) and only
+    computations suffer, on remote/remote placements.  Sharp knees and
+    tiny noise make it the model's most accurate platform.
+    """
+    machine = (
+        MachineBuilder("occigen")
+        .processor("Intel Xeon E5 2690v4", cores_per_socket=14, sockets=2)
+        .numa(nodes_per_socket=1, memory_bytes=32 * GiB, controller_gbps=70.0)
+        .interconnect(gbps=38.0, name="QPI")
+        .network("InfiniBand FDR", line_rate_gbps=6.8, pcie_gbps=7.9, socket=0)
+        .cache(level=3, size_bytes=35 * 2**20, shared_by=14)
+        .meta(
+            processor="2 x INTEL Xeon E5 2690v4 with 14 cores",
+            memory="64 GB of RAM, 2 NUMA nodes",
+            network="INFINIBAND",
+        )
+        .build()
+    )
+    profile = ContentionProfile(
+        core_stream_local_gbps=4.4,
+        core_stream_remote_gbps=2.3,
+        nic_min_fraction=1.0,
+        sag_onset=1.0,
+        sag_span=0.30,
+        interference_core_gbps=0.30,
+        interference_mixed_gbps=0.35,
+        dma_concurrency_bonus=0.0,
+        remote_capacity_fraction=0.48,
+        saturation_sharpness=40.0,
+        comp_noise_sigma=0.001,
+        comm_noise_sigma=0.001,
+    )
+    return Platform(machine=validate_machine(machine), profile=profile)
+
+
+#: Registry of all testbed platforms, keyed by name (Table I order).
+PLATFORMS: dict[str, Callable[[], Platform]] = {
+    "henri": henri,
+    "henri-subnuma": henri_subnuma,
+    "dahu": dahu,
+    "diablo": diablo,
+    "pyxis": pyxis,
+    "occigen": occigen,
+}
+
+
+def platform_names() -> tuple[str, ...]:
+    """Names of all testbed platforms, in Table I order."""
+    return tuple(PLATFORMS)
+
+
+def get_platform(name: str) -> Platform:
+    """Instantiate a testbed platform by name.
+
+    Raises :class:`~repro.errors.TopologyError` with the list of valid
+    names when ``name`` is unknown.
+    """
+    try:
+        factory = PLATFORMS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown platform {name!r}; valid names: {', '.join(PLATFORMS)}"
+        ) from None
+    return factory()

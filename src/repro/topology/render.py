@@ -1,0 +1,53 @@
+"""``lstopo``-style text rendering of a machine.
+
+Purely cosmetic, but invaluable when debugging placement experiments:
+the rendered tree shows exactly which NUMA node the NIC hangs off and
+how indices map to sockets, mirroring Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.topology.objects import Machine
+from repro.units import fmt_bandwidth, fmt_bytes
+
+__all__ = ["render_text"]
+
+
+def render_text(machine: Machine) -> str:
+    """Render ``machine`` as an indented text tree."""
+    lines: list[str] = []
+    lines.append(
+        f"Machine {machine.name!r} "
+        f"({machine.n_sockets} sockets, {machine.n_cores} cores, "
+        f"{machine.n_numa_nodes} NUMA nodes, "
+        f"{fmt_bytes(machine.total_memory_bytes())} RAM)"
+    )
+    for socket in machine.sockets:
+        lines.append(f"  Socket #{socket.index}: {socket.name}")
+        for cache in socket.caches:
+            lines.append(
+                f"    L{cache.level} cache: {fmt_bytes(cache.size_bytes)}"
+                f" (shared by {cache.shared_by} cores)"
+            )
+        for node in socket.numa_nodes:
+            marker = "  <- NIC" if node.index == machine.nic.numa else ""
+            lines.append(
+                f"    NUMANode #{node.index}: {fmt_bytes(node.memory_bytes)}"
+                f" @ {fmt_bandwidth(node.controller_gbps)}{marker}"
+            )
+        core_ids = [c.index for c in socket.cores]
+        lines.append(
+            f"    Cores: #{core_ids[0]}..#{core_ids[-1]} ({len(core_ids)} PUs)"
+        )
+    for link in machine.links:
+        lines.append(
+            f"  Link {link.name}: socket {link.socket_a} <-> socket {link.socket_b}"
+            f" @ {fmt_bandwidth(link.gbps)} per direction"
+        )
+    nic = machine.nic
+    lines.append(
+        f"  NIC {nic.name!r}: socket {nic.socket}, NUMA node {nic.numa},"
+        f" line rate {fmt_bandwidth(nic.line_rate_gbps)},"
+        f" PCIe {fmt_bandwidth(nic.pcie_gbps)}"
+    )
+    return "\n".join(lines)

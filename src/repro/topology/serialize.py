@@ -1,0 +1,156 @@
+"""Platform serialisation: save and load machine descriptions.
+
+The paper's companion repository ships machine descriptions so the
+study can be repeated; this module provides the equivalent: a complete
+:class:`~repro.topology.platforms.Platform` (topology + contention
+profile) round-trips through a single JSON document, so users can
+version their own testbeds alongside their results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+
+from repro.errors import TopologyError
+from repro.memsim.profile import ContentionProfile
+from repro.topology.builder import MachineBuilder
+from repro.topology.objects import Machine
+from repro.topology.platforms import Platform
+from repro.topology.validate import validate_machine
+
+__all__ = [
+    "platform_to_dict",
+    "platform_from_dict",
+    "platform_to_json",
+    "platform_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """Serialise a platform to a JSON-compatible dictionary."""
+    machine = platform.machine
+    socket0 = machine.sockets[0]
+    node0 = socket0.numa_nodes[0]
+    if len({n.controller_gbps for n in machine.iter_numa_nodes()}) != 1:
+        raise TopologyError(
+            "serialisation requires homogeneous NUMA controllers "
+            "(all platforms built by MachineBuilder satisfy this)"
+        )
+    data: dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "machine": {
+            "name": machine.name,
+            "processor": socket0.name,
+            "sockets": machine.n_sockets,
+            "cores_per_socket": machine.cores_per_socket,
+            "nodes_per_socket": machine.nodes_per_socket,
+            "memory_bytes_per_node": node0.memory_bytes,
+            "controller_gbps": node0.controller_gbps,
+            "link_gbps": machine.links[0].gbps if machine.links else None,
+            "link_name": machine.links[0].name if machine.links else None,
+            "nic": {
+                "name": machine.nic.name,
+                "socket": machine.nic.socket,
+                "numa": machine.nic.numa,
+                "line_rate_gbps": machine.nic.line_rate_gbps,
+                "pcie_gbps": machine.nic.pcie_gbps,
+            },
+            "caches": [
+                {
+                    "level": c.level,
+                    "size_bytes": c.size_bytes,
+                    "shared_by": c.shared_by,
+                }
+                for c in socket0.caches
+            ],
+            "metadata": dict(machine.metadata),
+        },
+        "profile": _profile_to_dict(platform.profile),
+    }
+    return data
+
+
+def _profile_to_dict(profile: ContentionProfile) -> dict[str, Any]:
+    out = dataclasses.asdict(profile)
+    # JSON keys must be strings; NUMA indices are ints.
+    out["nic_locality_gbps"] = {
+        str(k): v for k, v in profile.nic_locality_gbps.items()
+    }
+    return out
+
+
+def platform_from_dict(data: Mapping[str, Any]) -> Platform:
+    """Rebuild a platform from :func:`platform_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported platform format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    try:
+        m = data["machine"]
+        p = dict(data["profile"])
+    except KeyError as exc:
+        raise TopologyError(f"platform document missing section: {exc}") from exc
+
+    builder = (
+        MachineBuilder(m["name"])
+        .processor(
+            m["processor"],
+            cores_per_socket=int(m["cores_per_socket"]),
+            sockets=int(m["sockets"]),
+        )
+        .numa(
+            nodes_per_socket=int(m["nodes_per_socket"]),
+            memory_bytes=int(m["memory_bytes_per_node"]),
+            controller_gbps=float(m["controller_gbps"]),
+        )
+        .network(
+            m["nic"]["name"],
+            line_rate_gbps=float(m["nic"]["line_rate_gbps"]),
+            pcie_gbps=float(m["nic"]["pcie_gbps"]),
+            socket=int(m["nic"]["socket"]),
+            numa=int(m["nic"]["numa"]),
+        )
+    )
+    if m.get("link_gbps") is not None:
+        builder.interconnect(
+            gbps=float(m["link_gbps"]), name=m.get("link_name") or "UPI"
+        )
+    for cache in m.get("caches", ()):
+        builder.cache(
+            level=int(cache["level"]),
+            size_bytes=int(cache["size_bytes"]),
+            shared_by=int(cache["shared_by"]),
+        )
+    builder.meta(**{str(k): str(v) for k, v in m.get("metadata", {}).items()})
+
+    machine: Machine = validate_machine(builder.build())
+
+    p["nic_locality_gbps"] = {
+        int(k): float(v) for k, v in p.get("nic_locality_gbps", {}).items()
+    }
+    known = {f.name for f in dataclasses.fields(ContentionProfile)}
+    unknown = set(p) - known
+    if unknown:
+        raise TopologyError(f"unknown profile fields: {sorted(unknown)}")
+    profile = ContentionProfile(**p)
+    return Platform(machine=machine, profile=profile)
+
+
+def platform_to_json(platform: Platform, *, indent: int = 2) -> str:
+    """Serialise a platform to a JSON document string."""
+    return json.dumps(platform_to_dict(platform), indent=indent, sort_keys=True)
+
+
+def platform_from_json(text: str) -> Platform:
+    """Rebuild a platform from :func:`platform_to_json` output."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid platform JSON: {exc}") from exc
+    return platform_from_dict(data)

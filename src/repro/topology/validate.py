@@ -1,0 +1,68 @@
+"""Structural invariant checks for machines.
+
+The dataclass constructors already reject locally-inconsistent objects;
+:func:`validate_machine` checks the *global* invariants that only hold
+once the whole tree is assembled (index contiguity, NIC reachability,
+link coverage).  Platform factories and the builder run it before
+handing a machine to the simulator, and property-based tests drive it
+with adversarial trees.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.objects import Machine
+
+__all__ = ["validate_machine"]
+
+
+def validate_machine(machine: Machine) -> Machine:
+    """Check global invariants; return the machine for chaining.
+
+    Raises :class:`~repro.errors.TopologyError` on the first violation.
+    """
+    # Core indices must be exactly 0..n-1, socket-major.
+    core_indices = [c.index for c in machine.iter_cores()]
+    expected = list(range(machine.n_cores))
+    if core_indices != expected:
+        raise TopologyError(
+            f"core indices must be contiguous socket-major 0..{machine.n_cores - 1}, "
+            f"got {core_indices}"
+        )
+    for core in machine.iter_cores():
+        if core.socket != core.index // machine.cores_per_socket:
+            raise TopologyError(
+                f"core {core.index} on socket {core.socket} violates "
+                "socket-major numbering"
+            )
+
+    # NUMA indices must be exactly 0..k-1, socket-major.
+    node_indices = [n.index for n in machine.iter_numa_nodes()]
+    if node_indices != list(range(machine.n_numa_nodes)):
+        raise TopologyError(
+            "NUMA node indices must be contiguous socket-major "
+            f"0..{machine.n_numa_nodes - 1}, got {node_indices}"
+        )
+    for node in machine.iter_numa_nodes():
+        if node.socket != node.index // machine.nodes_per_socket:
+            raise TopologyError(
+                f"NUMA node {node.index} on socket {node.socket} violates "
+                "socket-major numbering"
+            )
+
+    # The NIC must sit on an existing socket and one of its NUMA nodes.
+    nic = machine.nic
+    if not 0 <= nic.socket < machine.n_sockets:
+        raise TopologyError(f"NIC socket {nic.socket} does not exist")
+    if machine.socket_of_numa(nic.numa) != nic.socket:
+        raise TopologyError(
+            f"NIC claims NUMA node {nic.numa}, which is on socket "
+            f"{machine.socket_of_numa(nic.numa)}, not the NIC socket {nic.socket}"
+        )
+
+    # Every socket pair must be connected (full mesh on >= 2 sockets).
+    for a in range(machine.n_sockets):
+        for b in range(a + 1, machine.n_sockets):
+            machine.link_between(a, b)  # raises if missing
+
+    return machine

@@ -1,0 +1,108 @@
+"""Units and conversion helpers used throughout :mod:`repro`.
+
+Conventions
+-----------
+The whole library uses a single, explicit unit system:
+
+* **bandwidth** — gigabytes per second, decimal (``1 GB/s = 1e9 B/s``),
+  matching the unit the paper reports (e.g. "a single computing core can
+  reach a memory bandwidth of 5 GB/s, while network bandwidth can be
+  around 10 GB/s").
+* **data sizes** — bytes (with helpers for MiB/MB/GiB/GB literals).
+* **time** — seconds.
+
+Keeping conversions in one module avoids the classic off-by-1024 bugs
+when mixing decimal network units (the NIC world) and binary memory
+units (the DRAM world).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "bytes_to_gb",
+    "gb_to_bytes",
+    "gbps_to_bytes_per_s",
+    "bytes_per_s_to_gbps",
+    "gbit_to_gbyte",
+    "bandwidth",
+    "transfer_time",
+    "fmt_bandwidth",
+    "fmt_bytes",
+]
+
+# Decimal (SI) sizes -- used for network-facing quantities.
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+# Binary (IEC) sizes -- used for memory-facing quantities.
+KiB: int = 2**10
+MiB: int = 2**20
+GiB: int = 2**30
+
+
+def bytes_to_gb(nbytes: float) -> float:
+    """Convert a byte count to decimal gigabytes."""
+    return nbytes / GB
+
+
+def gb_to_bytes(gigabytes: float) -> float:
+    """Convert decimal gigabytes to a byte count."""
+    return gigabytes * GB
+
+
+def gbps_to_bytes_per_s(gbps: float) -> float:
+    """Convert a GB/s bandwidth to bytes per second."""
+    return gbps * GB
+
+
+def bytes_per_s_to_gbps(bps: float) -> float:
+    """Convert bytes per second to GB/s."""
+    return bps / GB
+
+
+def gbit_to_gbyte(gbits: float) -> float:
+    """Convert gigabits (network line-rate convention) to gigabytes.
+
+    Useful to express NIC line rates: an EDR InfiniBand link is
+    ``gbit_to_gbyte(100) == 12.5`` GB/s of raw payload ceiling.
+    """
+    return gbits / 8.0
+
+
+def bandwidth(nbytes: float, seconds: float) -> float:
+    """Observed bandwidth in GB/s for ``nbytes`` moved in ``seconds``.
+
+    Raises :class:`ValueError` for non-positive durations: a zero-length
+    measurement window is always a harness bug, never a real result.
+    """
+    if seconds <= 0.0:
+        raise ValueError(f"measurement duration must be positive, got {seconds!r}")
+    return bytes_to_gb(nbytes) / seconds
+
+
+def transfer_time(nbytes: float, gbps: float) -> float:
+    """Time in seconds to move ``nbytes`` at a rate of ``gbps`` GB/s."""
+    if gbps <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {gbps!r}")
+    return nbytes / gb_to_bytes(gbps)
+
+
+def fmt_bandwidth(gbps: float, precision: int = 2) -> str:
+    """Human-readable bandwidth string, e.g. ``'12.30 GB/s'``."""
+    return f"{gbps:.{precision}f} GB/s"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count using binary units, e.g. ``'64.0 MiB'``."""
+    value = float(nbytes)
+    for unit, factor in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(value) >= factor:
+            return f"{value / factor:.1f} {unit}"
+    return f"{value:.0f} B"

@@ -1,0 +1,98 @@
+"""Overlap-efficiency estimation tests."""
+
+import pytest
+
+from repro.advisor import Workload, estimate_overlap
+from repro.errors import AdvisorError
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def model(henri_experiment):
+    return henri_experiment.model
+
+
+class TestEstimate:
+    def test_overlap_never_slower_than_phases(self, model):
+        est = estimate_overlap(
+            model,
+            Workload(comp_bytes=10 * GB, comm_bytes=2 * GB),
+            n_cores=12,
+            m_comp=0,
+            m_comm=1,
+        )
+        assert est.overlapped_s >= max(est.comp_alone_s, est.comm_alone_s) - 1e-12
+        assert est.overlapped_s <= est.serial_s + 1e-12
+
+    def test_efficiency_bounds(self, model):
+        for placement in [(0, 0), (0, 1), (1, 1)]:
+            est = estimate_overlap(
+                model,
+                Workload(comp_bytes=10 * GB, comm_bytes=2 * GB),
+                n_cores=14,
+                m_comp=placement[0],
+                m_comm=placement[1],
+            )
+            assert est.efficiency <= 1.0 + 1e-9
+
+    def test_contention_free_overlap_is_perfect(self, model):
+        """Few cores, disjoint nodes: the shorter phase hides fully."""
+        est = estimate_overlap(
+            model,
+            Workload(comp_bytes=4 * GB, comm_bytes=1 * GB),
+            n_cores=4,
+            m_comp=0,
+            m_comm=1,
+        )
+        assert est.efficiency == pytest.approx(1.0, abs=0.02)
+
+    def test_contended_overlap_less_efficient(self, model):
+        """Full socket + shared node: contention eats into the savings."""
+        free = estimate_overlap(
+            model,
+            Workload(comp_bytes=10 * GB, comm_bytes=4 * GB),
+            n_cores=6,
+            m_comp=0,
+            m_comm=1,
+        )
+        contended = estimate_overlap(
+            model,
+            Workload(comp_bytes=10 * GB, comm_bytes=4 * GB),
+            n_cores=18,
+            m_comp=0,
+            m_comm=0,
+        )
+        assert contended.efficiency < free.efficiency
+
+    def test_describe(self, model):
+        est = estimate_overlap(
+            model,
+            Workload(comp_bytes=GB, comm_bytes=GB),
+            n_cores=8,
+            m_comp=0,
+            m_comm=1,
+        )
+        assert "efficiency" in est.describe()
+
+    def test_requires_both_phases(self, model):
+        with pytest.raises(AdvisorError, match="both"):
+            estimate_overlap(
+                model,
+                Workload(comp_bytes=GB, comm_bytes=0),
+                n_cores=4,
+                m_comp=0,
+                m_comm=0,
+            )
+
+    def test_savings_accounting_consistent(self, model):
+        est = estimate_overlap(
+            model,
+            Workload(comp_bytes=8 * GB, comm_bytes=3 * GB),
+            n_cores=10,
+            m_comp=0,
+            m_comm=0,
+        )
+        assert est.savings_s == pytest.approx(est.serial_s - est.overlapped_s)
+        assert est.hideable_s == pytest.approx(
+            min(est.comp_alone_s, est.comm_alone_s)
+        )

@@ -1,0 +1,86 @@
+"""Message-size contention study tests."""
+
+import pytest
+
+from repro.bench.message_size import (
+    effective_message_bandwidth,
+    message_size_contention,
+)
+from repro.errors import BenchmarkError
+from repro.net import FABRICS
+from repro.units import KiB, MB
+
+
+class TestEffectiveBandwidth:
+    def test_large_messages_reach_line_rate(self):
+        bw = effective_message_bandwidth(64 * MB, fabric=FABRICS["infiniband-edr"])
+        assert bw == pytest.approx(12.5, rel=0.01)
+
+    def test_small_messages_latency_bound(self):
+        bw = effective_message_bandwidth(4 * KiB, fabric=FABRICS["infiniband-edr"])
+        assert bw < 5.0
+
+    def test_monotone_in_size(self):
+        fabric = FABRICS["infiniband-edr"]
+        sizes = [KiB, 8 * KiB, 64 * KiB, MB, 16 * MB, 64 * MB]
+        bws = [effective_message_bandwidth(s, fabric=fabric) for s in sizes]
+        assert bws == sorted(bws)
+
+    def test_rendezvous_handshake_costs(self):
+        """Crossing the eager threshold adds the handshake delay."""
+        fabric = FABRICS["infiniband-edr"]
+        below = effective_message_bandwidth(32 * KiB, fabric=fabric)
+        above = effective_message_bandwidth(32 * KiB + 1, fabric=fabric)
+        assert above < below
+
+    def test_invalid_size(self):
+        with pytest.raises(BenchmarkError):
+            effective_message_bandwidth(0, fabric=FABRICS["infiniband-edr"])
+
+
+class TestContentionVsMessageSize:
+    @pytest.fixture(scope="class")
+    def points(self, henri):
+        # n = 12: the transition region, where demand differences show.
+        return message_size_contention(
+            henri,
+            sizes=[2 * KiB, 8 * KiB, 256 * KiB, 64 * MB],
+            n_cores=12,
+        )
+
+    def test_paper_choice_maximises_contention(self, points):
+        """64 MB messages (the paper's) hurt computations the most."""
+        comp_retained = [p.comp_retained for p in points]
+        assert comp_retained[-1] == min(comp_retained)
+
+    def test_small_messages_barely_contend(self, points):
+        tiny = points[0]  # 2 KiB: demand below the guaranteed floor
+        assert tiny.comp_retained > 0.999
+        assert tiny.comm_retained == pytest.approx(1.0, abs=1e-6)
+
+    def test_computation_impact_monotone_in_size(self, points):
+        comp_retained = [p.comp_retained for p in points]
+        for a, b in zip(comp_retained, comp_retained[1:]):
+            assert b <= a + 1e-9
+
+    def test_comm_impact_monotone_in_size(self, points):
+        comm_retained = [p.comm_retained for p in points]
+        for a, b in zip(comm_retained, comm_retained[1:]):
+            assert b <= a + 1e-9
+
+    def test_floor_in_absolute_terms_at_full_socket(self, henri):
+        """At full socket the hardware floor (alpha x platform nominal)
+        holds for every message size whose demand exceeds it."""
+        points = message_size_contention(
+            henri,
+            sizes=[8 * KiB, 256 * KiB, 64 * MB],
+            n_cores=henri.cores_per_socket,
+        )
+        floor = henri.profile.nic_min_fraction * 12.3
+        for p in points:
+            expected = min(floor, p.effective_demand_gbps)
+            assert p.comm_parallel_gbps >= expected - 1e-6
+
+    def test_empty_sizes_rejected(self, henri):
+        with pytest.raises(BenchmarkError):
+            message_size_contention(henri, sizes=[], n_cores=4)

@@ -1,0 +1,157 @@
+"""Benchmark result containers and CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ModeCurves, PlacementSweep, PlatformDataset
+from repro.errors import BenchmarkError
+
+
+def curves(n=5):
+    ns = np.arange(1, n + 1)
+    return ModeCurves(
+        core_counts=ns,
+        comp_alone=ns * 5.0,
+        comm_alone=np.full(n, 10.0),
+        comp_parallel=ns * 4.5,
+        comm_parallel=np.linspace(10.0, 4.0, n),
+    )
+
+
+class TestModeCurves:
+    def test_valid(self):
+        c = curves()
+        assert c.n_points == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BenchmarkError, match="share a length"):
+            ModeCurves(
+                core_counts=np.array([1, 2]),
+                comp_alone=np.array([5.0]),
+                comm_alone=np.array([10.0, 10.0]),
+                comp_parallel=np.array([4.0, 8.0]),
+                comm_parallel=np.array([10.0, 9.0]),
+            )
+
+    def test_non_increasing_cores_rejected(self):
+        with pytest.raises(BenchmarkError, match="increasing"):
+            ModeCurves(
+                core_counts=np.array([2, 1]),
+                comp_alone=np.array([5.0, 5.0]),
+                comm_alone=np.array([10.0, 10.0]),
+                comp_parallel=np.array([4.0, 4.0]),
+                comm_parallel=np.array([10.0, 10.0]),
+            )
+
+    def test_zero_core_count_rejected(self):
+        with pytest.raises(BenchmarkError, match=">= 1"):
+            ModeCurves(
+                core_counts=np.array([0, 1]),
+                comp_alone=np.array([5.0, 5.0]),
+                comm_alone=np.array([10.0, 10.0]),
+                comp_parallel=np.array([4.0, 4.0]),
+                comm_parallel=np.array([10.0, 10.0]),
+            )
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(BenchmarkError, match="negative"):
+            ModeCurves(
+                core_counts=np.array([1, 2]),
+                comp_alone=np.array([5.0, -5.0]),
+                comm_alone=np.array([10.0, 10.0]),
+                comp_parallel=np.array([4.0, 4.0]),
+                comm_parallel=np.array([10.0, 10.0]),
+            )
+
+    def test_total_parallel(self):
+        c = curves()
+        assert np.allclose(c.total_parallel(), c.comp_parallel + c.comm_parallel)
+
+    def test_at_lookup(self):
+        c = curves()
+        point = c.at(3)
+        assert point["comp_alone"] == 15.0
+
+    def test_at_missing_core_count(self):
+        with pytest.raises(BenchmarkError, match="no measurement"):
+            curves().at(99)
+
+
+class TestPlacementSweep:
+    def test_lookup_and_iteration(self):
+        sweep = PlacementSweep(curves={(0, 0): curves(), (1, 1): curves()})
+        assert (0, 0) in sweep
+        assert (0, 1) not in sweep
+        assert list(sweep) == [(0, 0), (1, 1)]
+        assert len(sweep) == 2
+        assert sweep.placements() == ((0, 0), (1, 1))
+
+    def test_missing_placement_error_lists_keys(self):
+        sweep = PlacementSweep(curves={(0, 0): curves()})
+        with pytest.raises(BenchmarkError, match=r"\(0, 0\)"):
+            sweep[(3, 3)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchmarkError, match="at least one"):
+            PlacementSweep(curves={})
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        dataset = PlatformDataset(
+            platform_name="toy",
+            sweep=PlacementSweep(curves={(0, 0): curves(), (0, 1): curves(4)}),
+        )
+        restored = PlatformDataset.from_csv(dataset.to_csv())
+        assert restored.platform_name == "toy"
+        assert restored.sweep.placements() == ((0, 0), (0, 1))
+        for key in dataset.sweep:
+            a, b = dataset.sweep[key], restored.sweep[key]
+            assert np.allclose(a.comp_alone, b.comp_alone)
+            assert np.allclose(a.comm_parallel, b.comm_parallel)
+            assert np.array_equal(a.core_counts, b.core_counts)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(BenchmarkError, match="header"):
+            PlatformDataset.from_csv("a,b,c\n1,2,3\n")
+
+    def test_empty_csv_rejected(self):
+        header = ",".join(PlatformDataset._FIELDS)
+        with pytest.raises(BenchmarkError, match="no data"):
+            PlatformDataset.from_csv(header + "\n")
+
+    def test_mixed_platforms_rejected(self):
+        dataset = PlatformDataset(
+            platform_name="toy",
+            sweep=PlacementSweep(curves={(0, 0): curves()}),
+        )
+        text = dataset.to_csv()
+        lines = text.strip().splitlines()
+        corrupted = lines[1].replace("toy", "other")
+        with pytest.raises(BenchmarkError, match="mixed"):
+            PlatformDataset.from_csv("\n".join([lines[0], lines[1], corrupted]))
+
+    def test_csv_rows_unordered_ok(self):
+        """Rows may arrive shuffled; parsing sorts by core count."""
+        dataset = PlatformDataset(
+            platform_name="toy",
+            sweep=PlacementSweep(curves={(0, 0): curves()}),
+        )
+        lines = dataset.to_csv().strip().splitlines()
+        shuffled = [lines[0]] + list(reversed(lines[1:]))
+        restored = PlatformDataset.from_csv("\n".join(shuffled))
+        assert np.array_equal(
+            restored.sweep[(0, 0)].core_counts, dataset.sweep[(0, 0)].core_counts
+        )
+
+
+class TestRealDatasetRoundTrip:
+    def test_full_platform_roundtrip(self, henri_experiment):
+        dataset = henri_experiment.dataset
+        restored = PlatformDataset.from_csv(dataset.to_csv())
+        for key in dataset.sweep:
+            assert np.allclose(
+                dataset.sweep[key].comm_parallel,
+                restored.sweep[key].comm_parallel,
+                atol=1e-5,
+            )

@@ -1,0 +1,78 @@
+"""Property-based tests on benchmark containers (CSV round-trips)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import ModeCurves, PlacementSweep, PlatformDataset
+
+
+@st.composite
+def mode_curves(draw):
+    n = draw(st.integers(3, 24))
+    start = draw(st.integers(1, 3))
+    ns = np.arange(start, start + n)
+    bandwidth = st.floats(0.0, 500.0)
+    return ModeCurves(
+        core_counts=ns,
+        comp_alone=np.array(draw(st.lists(bandwidth, min_size=n, max_size=n))),
+        comm_alone=np.array(draw(st.lists(bandwidth, min_size=n, max_size=n))),
+        comp_parallel=np.array(draw(st.lists(bandwidth, min_size=n, max_size=n))),
+        comm_parallel=np.array(draw(st.lists(bandwidth, min_size=n, max_size=n))),
+    )
+
+
+@st.composite
+def platform_datasets(draw):
+    n_placements = draw(st.integers(1, 6))
+    keys = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),
+            min_size=n_placements,
+            max_size=n_placements,
+            unique=True,
+        )
+    )
+    curves = {key: draw(mode_curves()) for key in keys}
+    return PlatformDataset(
+        platform_name=draw(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll",)),
+                min_size=1,
+                max_size=12,
+            )
+        ),
+        sweep=PlacementSweep(curves=curves),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(dataset=platform_datasets())
+def test_csv_roundtrip_any_dataset(dataset):
+    restored = PlatformDataset.from_csv(dataset.to_csv())
+    assert restored.platform_name == dataset.platform_name
+    assert restored.sweep.placements() == dataset.sweep.placements()
+    for key in dataset.sweep:
+        original = dataset.sweep[key]
+        copy = restored.sweep[key]
+        assert np.array_equal(original.core_counts, copy.core_counts)
+        # 6-decimal serialisation.
+        assert np.allclose(original.comp_alone, copy.comp_alone, atol=1e-5)
+        assert np.allclose(original.comm_parallel, copy.comm_parallel, atol=1e-5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(curves=mode_curves())
+def test_total_parallel_is_sum(curves):
+    assert np.allclose(
+        curves.total_parallel(), curves.comp_parallel + curves.comm_parallel
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(curves=mode_curves())
+def test_at_matches_arrays(curves):
+    for i, n in enumerate(curves.core_counts):
+        point = curves.at(int(n))
+        assert point["comp_parallel"] == float(curves.comp_parallel[i])
+        assert point["comm_alone"] == float(curves.comm_alone[i])

@@ -1,0 +1,77 @@
+"""Adaptive calibration sweeps (the paper's footnote 2)."""
+
+import pytest
+
+from repro.bench import SweepConfig, run_adaptive_calibration
+from repro.core import calibrate
+from repro.core.calibration import calibrate_placement_model
+from repro.errors import BenchmarkError
+
+
+class TestAdaptiveSweep:
+    def test_saves_measurements_on_henri(self, henri, noiseless_config):
+        result = run_adaptive_calibration(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=noiseless_config,
+        )
+        assert result.measurements_saved > 0
+        # It must cover the rising part plus the full-socket point.
+        assert result.measured_core_counts[0] == 1
+        assert result.measured_core_counts[-1] == henri.cores_per_socket
+
+    def test_sparse_calibration_close_to_full(self, henri, noiseless_config):
+        """The optimised sweep calibrates (nearly) the same model."""
+        from repro.bench.runner import measure_curves
+
+        sparse = run_adaptive_calibration(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=noiseless_config,
+        )
+        full = measure_curves(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=noiseless_config,
+        )
+        a = calibrate(sparse.curves)
+        b = calibrate(full)
+        assert a.b_comp_seq == pytest.approx(b.b_comp_seq, rel=0.01)
+        assert a.b_comm_seq == pytest.approx(b.b_comm_seq, rel=0.01)
+        assert a.alpha == pytest.approx(b.alpha, rel=0.05)
+        assert a.t_par_max == pytest.approx(b.t_par_max, rel=0.02)
+        assert abs(a.n_seq_max - b.n_seq_max) <= 1
+
+    def test_skips_only_past_the_maxima(self, henri, noiseless_config):
+        """Per the footnote, nothing before N_seq_max may be skipped."""
+        result = run_adaptive_calibration(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=noiseless_config,
+        )
+        fitted = calibrate(result.curves)
+        measured = set(result.measured_core_counts)
+        for n in range(1, fitted.n_seq_max + 1):
+            assert n in measured, f"core count {n} (before the peak) skipped"
+
+    def test_no_contention_platform_still_terminates(self, diablo, noiseless_config):
+        result = run_adaptive_calibration(
+            diablo.machine, diablo.profile, m_comp=0, m_comm=0,
+            config=noiseless_config, patience=2,
+        )
+        assert result.measured_core_counts[-1] == diablo.cores_per_socket
+
+    def test_invalid_patience(self, henri):
+        with pytest.raises(BenchmarkError):
+            run_adaptive_calibration(
+                henri.machine, henri.profile, m_comp=0, m_comm=0, patience=0
+            )
+
+    def test_invalid_tolerance(self, henri):
+        with pytest.raises(BenchmarkError):
+            run_adaptive_calibration(
+                henri.machine, henri.profile, m_comp=0, m_comm=0, tolerance=-0.1
+            )
+
+    def test_noise_does_not_break_adaptivity(self, henri):
+        result = run_adaptive_calibration(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=SweepConfig(seed=3),
+        )
+        assert result.measured_core_counts[-1] == henri.cores_per_socket

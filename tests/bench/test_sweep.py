@@ -1,0 +1,61 @@
+"""Placement-grid sweeps."""
+
+import pytest
+
+from repro.bench import SweepConfig, run_placement_grid, run_sample_sweeps
+from repro.bench.sweep import sample_placements
+
+
+class TestSamplePlacements:
+    def test_henri(self, henri):
+        assert sample_placements(henri) == ((0, 0), (1, 1))
+
+    def test_subnuma_uses_first_nodes(self, henri_subnuma):
+        """§IV-A2: first NUMA node of each socket."""
+        assert sample_placements(henri_subnuma) == ((0, 0), (2, 2))
+
+
+class TestSampleSweeps:
+    def test_only_two_placements(self, henri, noiseless_config):
+        dataset = run_sample_sweeps(henri, config=noiseless_config)
+        assert dataset.sweep.placements() == ((0, 0), (1, 1))
+        assert dataset.config["samples_only"] is True
+
+    def test_subset_core_counts(self, henri, noiseless_config):
+        dataset = run_sample_sweeps(
+            henri, config=noiseless_config, core_counts=[1, 9, 18]
+        )
+        assert dataset.sweep[(0, 0)].n_points == 3
+
+
+class TestPlacementGrid:
+    def test_full_grid_two_nodes(self, henri, noiseless_config):
+        dataset = run_placement_grid(henri, config=noiseless_config)
+        assert len(dataset.sweep) == 4
+        assert dataset.config["samples_only"] is False
+
+    def test_full_grid_subnuma(self, henri_subnuma, noiseless_config):
+        dataset = run_placement_grid(
+            henri_subnuma, config=noiseless_config, core_counts=[4, 12]
+        )
+        assert len(dataset.sweep) == 16
+
+    def test_grid_contains_samples(self, henri, noiseless_config):
+        dataset = run_placement_grid(
+            henri, config=noiseless_config, core_counts=[4]
+        )
+        for key in sample_placements(henri):
+            assert key in dataset.sweep
+
+    def test_symmetric_remote_placements_equal(self, henri_subnuma):
+        """Machine symmetry: placements on equivalent remote nodes give
+        identical measurements (noiseless)."""
+        dataset = run_placement_grid(
+            henri_subnuma,
+            config=SweepConfig(noiseless=True),
+            core_counts=[6, 14],
+        )
+        a = dataset.sweep[(2, 2)]
+        b = dataset.sweep[(3, 3)]
+        assert a.comp_parallel == pytest.approx(b.comp_parallel)
+        assert a.comm_parallel == pytest.approx(b.comm_parallel)

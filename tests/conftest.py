@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Expensive artefacts (full platform experiments) are session-scoped:
+many test modules assert different properties of the same pipeline run,
+so it is computed once per platform.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SweepConfig
+from repro.evaluation import run_platform_experiment
+from repro.topology import get_platform, platform_names
+
+
+@pytest.fixture(scope="session")
+def henri():
+    return get_platform("henri")
+
+
+@pytest.fixture(scope="session")
+def henri_subnuma():
+    return get_platform("henri-subnuma")
+
+
+@pytest.fixture(scope="session")
+def diablo():
+    return get_platform("diablo")
+
+
+@pytest.fixture(scope="session")
+def occigen():
+    return get_platform("occigen")
+
+
+@pytest.fixture(scope="session")
+def pyxis():
+    return get_platform("pyxis")
+
+
+@pytest.fixture(scope="session")
+def noiseless_config():
+    return SweepConfig(noiseless=True)
+
+
+@pytest.fixture(scope="session")
+def seeded_config():
+    return SweepConfig(seed=1)
+
+
+@pytest.fixture(scope="session")
+def henri_experiment(seeded_config):
+    """Full pipeline run on henri (benchmark -> calibrate -> predict)."""
+    return run_platform_experiment("henri", config=seeded_config)
+
+
+@pytest.fixture(scope="session")
+def all_experiments(seeded_config):
+    """Full pipeline run on every testbed platform (Table II)."""
+    return {
+        name: run_platform_experiment(name, config=seeded_config)
+        for name in platform_names()
+    }

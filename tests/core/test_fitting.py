@@ -1,0 +1,71 @@
+"""Least-squares calibration refinement tests."""
+
+import pytest
+
+from repro.bench.runner import measure_curves
+from repro.bench import SweepConfig
+from repro.core import calibrate
+from repro.core.fitting import fit_quality, refine_parameters
+from repro.errors import CalibrationError
+from tests.core.test_calibration import REFERENCE, synthetic_curves
+
+
+class TestFitQuality:
+    def test_zero_on_self_generated_curves(self):
+        curves = synthetic_curves(REFERENCE)
+        assert fit_quality(REFERENCE, curves) < 1e-12
+
+    def test_positive_on_perturbed_parameters(self):
+        import dataclasses
+
+        curves = synthetic_curves(REFERENCE)
+        worse = dataclasses.replace(REFERENCE, alpha=0.8)
+        assert fit_quality(worse, curves) > 0.01
+
+
+class TestRefine:
+    def test_never_worse_than_heuristic(self, henri, seeded_config):
+        curves = measure_curves(
+            henri.machine, henri.profile, m_comp=0, m_comm=0, config=seeded_config
+        )
+        heuristic = calibrate(curves)
+        refined = refine_parameters(curves, knee_radius=1, maxiter=150)
+        assert fit_quality(refined, curves) <= fit_quality(heuristic, curves) + 1e-12
+
+    def test_heuristic_is_already_close(self, henri, seeded_config):
+        """The paper's judgement, quantified: the cheap extraction sits
+        within a small margin of the optimised fit."""
+        curves = measure_curves(
+            henri.machine, henri.profile, m_comp=0, m_comm=0, config=seeded_config
+        )
+        heuristic_q = fit_quality(calibrate(curves), curves)
+        refined_q = fit_quality(
+            refine_parameters(curves, knee_radius=1, maxiter=150), curves
+        )
+        # Heuristic within 2 percentage points of mean relative error.
+        assert heuristic_q - refined_q < 0.02
+
+    def test_exact_curves_need_no_refinement(self):
+        curves = synthetic_curves(REFERENCE)
+        refined = refine_parameters(curves, knee_radius=0, maxiter=50)
+        assert fit_quality(refined, curves) <= 1e-9
+
+    def test_invalid_radius(self, henri, noiseless_config):
+        curves = measure_curves(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=noiseless_config, core_counts=[1, 6, 12, 18],
+        )
+        with pytest.raises(CalibrationError):
+            refine_parameters(curves, knee_radius=-1)
+
+    def test_respects_explicit_initial(self, henri, noiseless_config):
+        curves = measure_curves(
+            henri.machine, henri.profile, m_comp=0, m_comm=0,
+            config=noiseless_config,
+        )
+        heuristic = calibrate(curves)
+        refined = refine_parameters(
+            curves, initial=heuristic, knee_radius=0, maxiter=100
+        )
+        assert refined.n_par_max == heuristic.n_par_max
+        assert refined.n_seq_max == heuristic.n_seq_max

@@ -1,0 +1,103 @@
+"""ModelParameters validation and serialisation."""
+
+import pytest
+
+from repro.core import ModelParameters
+from repro.errors import ModelError
+
+
+def params(**overrides):
+    base = dict(
+        n_par_max=11,
+        t_par_max=90.0,
+        n_seq_max=13,
+        t_seq_max=87.0,
+        t_par_max2=88.0,
+        delta_l=1.0,
+        delta_r=0.45,
+        b_comp_seq=6.8,
+        b_comm_seq=12.3,
+        alpha=0.42,
+    )
+    base.update(overrides)
+    return ModelParameters(**base)
+
+
+class TestValidation:
+    def test_valid(self):
+        params()
+
+    def test_n_par_must_be_positive(self):
+        with pytest.raises(ModelError):
+            params(n_par_max=0)
+
+    def test_n_seq_ge_n_par(self):
+        with pytest.raises(ModelError, match="n_seq_max"):
+            params(n_par_max=14, n_seq_max=13)
+
+    def test_equal_maxima_allowed(self):
+        params(n_par_max=13, n_seq_max=13)
+
+    @pytest.mark.parametrize(
+        "field", ["t_par_max", "t_seq_max", "t_par_max2", "b_comp_seq", "b_comm_seq"]
+    )
+    def test_bandwidths_positive(self, field):
+        with pytest.raises(ModelError):
+            params(**{field: 0.0})
+
+    def test_negative_slopes_rejected(self):
+        with pytest.raises(ModelError, match="slopes"):
+            params(delta_l=-0.1)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.1, -0.5])
+    def test_alpha_range(self, alpha):
+        with pytest.raises(ModelError, match="alpha"):
+            params(alpha=alpha)
+
+    def test_alpha_one_allowed(self):
+        """occigen: communications never impacted."""
+        params(alpha=1.0)
+
+    def test_t_par_max2_cannot_exceed_peak(self):
+        with pytest.raises(ModelError, match="t_par_max2"):
+            params(t_par_max2=95.0)
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self):
+        p = params()
+        assert ModelParameters.from_dict(p.to_dict()) == p
+
+    def test_json_roundtrip(self):
+        p = params()
+        assert ModelParameters.from_json(p.to_json()) == p
+
+    def test_unknown_field_rejected(self):
+        data = params().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ModelError, match="unknown"):
+            ModelParameters.from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = params().to_dict()
+        del data["alpha"]
+        with pytest.raises(ModelError, match="missing"):
+            ModelParameters.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ModelError, match="JSON"):
+            ModelParameters.from_json("{not json")
+
+
+class TestHelpers:
+    def test_with_comm_nominal(self):
+        p = params()
+        q = p.with_comm_nominal(22.4)
+        assert q.b_comm_seq == 22.4
+        assert p.b_comm_seq == 12.3
+        assert q.alpha == p.alpha
+
+    def test_summary_mentions_key_values(self):
+        text = params().summary()
+        assert "alpha=0.42" in text
+        assert "Npar=11" in text

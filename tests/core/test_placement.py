@@ -1,0 +1,140 @@
+"""PlacementModel: equations 6 and 7, every selection case."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContentionModel, ModelParameters, PlacementModel
+from repro.errors import PlacementError
+
+LOCAL = ModelParameters(
+    n_par_max=8,
+    t_par_max=60.0,
+    n_seq_max=12,
+    t_seq_max=58.0,
+    t_par_max2=56.0,
+    delta_l=1.0,
+    delta_r=0.5,
+    b_comp_seq=5.0,
+    b_comm_seq=10.0,
+    alpha=0.4,
+)
+
+REMOTE = ModelParameters(
+    n_par_max=6,
+    t_par_max=30.0,
+    n_seq_max=10,
+    t_seq_max=28.0,
+    t_par_max2=27.0,
+    delta_l=0.75,
+    delta_r=0.3,
+    b_comp_seq=2.5,
+    b_comm_seq=9.0,  # locality-sensitive NIC: remote nominal differs
+    alpha=0.4,
+)
+
+
+@pytest.fixture
+def model():
+    return PlacementModel(LOCAL, REMOTE, nodes_per_socket=2, n_numa_nodes=4)
+
+
+class TestConstruction:
+    def test_requires_two_sockets(self):
+        with pytest.raises(PlacementError, match="two sockets"):
+            PlacementModel(LOCAL, REMOTE, nodes_per_socket=2, n_numa_nodes=2)
+
+    def test_node_bounds_checked(self, model):
+        with pytest.raises(PlacementError, match="out of range"):
+            model.comm_parallel(2, 0, 5)
+        with pytest.raises(PlacementError):
+            model.comp_parallel(2, -1, 0)
+
+    def test_is_remote(self, model):
+        assert not model.is_remote(0)
+        assert not model.is_remote(1)
+        assert model.is_remote(2)
+        assert model.is_remote(3)
+
+
+class TestEquation6:
+    def test_case1_remote_same_node(self, model):
+        """m_comp >= #m and m_comp == m_comm -> remote model."""
+        expected = ContentionModel(REMOTE).comm_parallel(7)
+        assert model.comm_parallel(7, 2, 2) == expected
+        assert model.comm_parallel(7, 3, 3) == expected
+
+    def test_case2_comm_remote_substitutes_nominal(self, model):
+        """m_comm >= #m otherwise -> local model with remote B_comm_seq."""
+        substituted = ContentionModel(
+            LOCAL.with_comm_nominal(REMOTE.b_comm_seq)
+        ).comm_parallel(7)
+        assert model.comm_parallel(7, 0, 2) == substituted
+        assert model.comm_parallel(7, 2, 3) == substituted  # different remote nodes
+
+    def test_case3_comm_local(self, model):
+        expected = ContentionModel(LOCAL).comm_parallel(7)
+        assert model.comm_parallel(7, 0, 0) == expected
+        assert model.comm_parallel(7, 2, 1) == expected
+        assert model.comm_parallel(7, 0, 1) == expected
+
+    def test_case2_uses_remote_nominal_at_low_core_counts(self, model):
+        """With few cores the substituted model returns the remote nominal."""
+        assert model.comm_parallel(1, 0, 2) == pytest.approx(REMOTE.b_comm_seq)
+
+    def test_sample_placements_reduce_to_instantiations(self, model):
+        local_model = ContentionModel(LOCAL)
+        remote_model = ContentionModel(REMOTE)
+        for n in (1, 5, 9, 13):
+            assert model.comm_parallel(n, 0, 0) == local_model.comm_parallel(n)
+            assert model.comm_parallel(n, 2, 2) == remote_model.comm_parallel(n)
+
+
+class TestEquation7:
+    def test_local_shared_node(self, model):
+        assert model.comp_parallel(9, 0, 0) == ContentionModel(LOCAL).comp_parallel(9)
+        assert model.comp_parallel(9, 1, 1) == ContentionModel(LOCAL).comp_parallel(9)
+
+    def test_local_disjoint_uses_alone(self, model):
+        expected = ContentionModel(LOCAL).comp_alone(9)
+        assert model.comp_parallel(9, 0, 1) == expected
+        assert model.comp_parallel(9, 1, 2) == expected
+
+    def test_remote_shared_node(self, model):
+        assert model.comp_parallel(9, 2, 2) == ContentionModel(REMOTE).comp_parallel(9)
+
+    def test_remote_disjoint_uses_remote_alone(self, model):
+        expected = ContentionModel(REMOTE).comp_alone(9)
+        assert model.comp_parallel(9, 2, 0) == expected
+        assert model.comp_parallel(9, 2, 3) == expected
+
+    def test_symmetry_across_equivalent_remote_nodes(self, model):
+        """Remote nodes are interchangeable in the model (the paper's
+        observed machine symmetry)."""
+        for n in (3, 9, 14):
+            assert model.comp_parallel(n, 2, 2) == model.comp_parallel(n, 3, 3)
+            assert model.comm_parallel(n, 2, 2) == model.comm_parallel(n, 3, 3)
+
+
+class TestAlonePredictions:
+    def test_comp_alone_by_locality(self, model):
+        assert model.comp_alone(6, 0) == ContentionModel(LOCAL).comp_alone(6)
+        assert model.comp_alone(6, 3) == ContentionModel(REMOTE).comp_alone(6)
+
+    def test_comm_alone_by_locality(self, model):
+        assert model.comm_alone(1) == LOCAL.b_comm_seq
+        assert model.comm_alone(2) == REMOTE.b_comm_seq
+
+
+class TestPredictSweep:
+    def test_prediction_bundle(self, model):
+        ns = np.arange(1, 15)
+        pred = model.predict(ns, 0, 0)
+        assert pred.m_comp == 0 and pred.m_comm == 0
+        assert pred.comp_parallel.shape == ns.shape
+        assert pred.total_parallel() == pytest.approx(
+            pred.comp_parallel + pred.comm_parallel
+        )
+
+    def test_empty_core_counts_rejected(self, model):
+        with pytest.raises(PlacementError):
+            model.predict([], 0, 0)

@@ -1,0 +1,87 @@
+"""Parameter sensitivity analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelParameters, parameter_sensitivity
+from repro.errors import ModelError
+
+PARAMS = ModelParameters(
+    n_par_max=8,
+    t_par_max=60.0,
+    n_seq_max=12,
+    t_seq_max=58.0,
+    t_par_max2=58.0,
+    delta_l=0.5,
+    delta_r=0.5,
+    b_comp_seq=5.0,
+    b_comm_seq=10.0,
+    alpha=0.4,
+)
+
+NS = np.arange(1, 19)
+
+
+class TestSensitivity:
+    def test_all_parameters_reported(self):
+        result = parameter_sensitivity(PARAMS, core_counts=NS)
+        expected = {
+            "t_par_max",
+            "t_seq_max",
+            "t_par_max2",
+            "delta_l",
+            "delta_r",
+            "b_comp_seq",
+            "b_comm_seq",
+            "alpha",
+            "n_par_max",
+            "n_seq_max",
+        }
+        assert set(result.comm_sensitivity) == expected
+        assert set(result.comp_sensitivity) == expected
+
+    def test_sensitivities_non_negative(self):
+        result = parameter_sensitivity(PARAMS, core_counts=NS)
+        assert all(v >= 0 for v in result.comm_sensitivity.values())
+        assert all(v >= 0 for v in result.comp_sensitivity.values())
+
+    def test_comm_hinges_on_alpha_and_nominal(self):
+        """The physically expected ranking: the communication curve is
+        driven by alpha and B_comm_seq far more than by delta_r."""
+        result = parameter_sensitivity(PARAMS, core_counts=NS)
+        comm = result.comm_sensitivity
+        assert comm["alpha"] > comm["delta_r"]
+        assert comm["b_comm_seq"] > comm["delta_r"]
+
+    def test_comp_hinges_on_per_core_bandwidth(self):
+        result = parameter_sensitivity(PARAMS, core_counts=NS)
+        comp = result.comp_sensitivity
+        assert comp["b_comp_seq"] == max(comp.values())
+
+    def test_t_seq_max_never_affects_parallel_curves(self):
+        """t_seq_max only enters Eq. 8 (the alone curve)."""
+        result = parameter_sensitivity(PARAMS, core_counts=NS)
+        assert result.comm_sensitivity["t_seq_max"] == 0.0
+        assert result.comp_sensitivity["t_seq_max"] == 0.0
+
+    def test_ranked(self):
+        result = parameter_sensitivity(PARAMS, core_counts=NS)
+        ranked = result.ranked(curve="comm")
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        with pytest.raises(ModelError):
+            result.ranked(curve="bogus")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            parameter_sensitivity(PARAMS, core_counts=[])
+        with pytest.raises(ModelError):
+            parameter_sensitivity(PARAMS, core_counts=NS, relative_step=0.0)
+
+    def test_alpha_one_skips_invalid_direction(self):
+        """alpha=1 cannot be perturbed upward; the analysis survives."""
+        import dataclasses
+
+        params = dataclasses.replace(PARAMS, alpha=1.0)
+        result = parameter_sensitivity(params, core_counts=NS)
+        assert result.comm_sensitivity["alpha"] >= 0.0

@@ -1,0 +1,56 @@
+"""Stacked-bandwidth view (Figure 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelParameters, stacked_view
+from repro.errors import ModelError
+
+PARAMS = ModelParameters(
+    n_par_max=8,
+    t_par_max=60.0,
+    n_seq_max=12,
+    t_seq_max=58.0,
+    t_par_max2=58.0,
+    delta_l=0.5,
+    delta_r=0.5,
+    b_comp_seq=5.0,
+    b_comm_seq=10.0,
+    alpha=0.4,
+)
+
+
+class TestStackedView:
+    def test_default_range_shows_delta_r_region(self):
+        view = stacked_view(PARAMS)
+        assert view.core_counts[-1] > PARAMS.n_seq_max
+
+    def test_annotated_points(self):
+        view = stacked_view(PARAMS)
+        assert view.points["(1, Bcomp_seq)"] == (1.0, 5.0)
+        assert view.points["(Npar_max, Tpar_max)"] == (8.0, 60.0)
+        assert view.points["(Nseq_max, Tseq_max)"] == (12.0, 58.0)
+        assert view.points["(Nseq_max, Tpar_max2)"] == (12.0, 58.0)
+
+    def test_stacked_top_is_sum(self):
+        view = stacked_view(PARAMS)
+        assert np.allclose(view.stacked_top(), view.comp_parallel + view.comm_parallel)
+
+    def test_stacked_top_follows_total_when_saturated(self):
+        view = stacked_view(PARAMS)
+        idx = np.flatnonzero(view.core_counts == PARAMS.n_seq_max)[0]
+        assert view.stacked_top()[idx] == pytest.approx(PARAMS.t_par_max2)
+        tail = view.core_counts > PARAMS.n_seq_max
+        assert np.all(np.diff(view.stacked_top()[tail]) < 0)
+
+    def test_comp_alone_peaks_at_t_seq_max(self):
+        view = stacked_view(PARAMS)
+        assert view.comp_alone.max() == pytest.approx(PARAMS.t_seq_max)
+
+    def test_max_cores_validation(self):
+        with pytest.raises(ModelError, match="inflexion"):
+            stacked_view(PARAMS, max_cores=5)
+
+    def test_explicit_max_cores(self):
+        view = stacked_view(PARAMS, max_cores=20)
+        assert view.core_counts[-1] == 20

@@ -1,0 +1,70 @@
+"""Experiment archive round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.archive import load_experiment, save_experiment
+
+
+class TestRoundTrip:
+    def test_files_written(self, henri_experiment, tmp_path):
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        for name in (
+            "dataset.csv",
+            "model_local.json",
+            "model_remote.json",
+            "errors.json",
+            "meta.json",
+        ):
+            assert (target / name).exists()
+
+    def test_reload_is_equivalent(self, henri_experiment, tmp_path):
+        save_experiment(henri_experiment, tmp_path / "henri")
+        restored = load_experiment(tmp_path / "henri")
+        assert restored.platform.name == "henri"
+        assert restored.model.local == henri_experiment.model.local
+        assert restored.model.remote == henri_experiment.model.remote
+        assert restored.sample_keys == henri_experiment.sample_keys
+        # Errors recompute to the same values (up to the CSV's
+        # 6-decimal serialisation of the measured curves).
+        assert restored.errors.average == pytest.approx(
+            henri_experiment.errors.average, rel=1e-5
+        )
+
+    def test_predictions_recomputed_identically(self, henri_experiment, tmp_path):
+        save_experiment(henri_experiment, tmp_path / "henri")
+        restored = load_experiment(tmp_path / "henri")
+        for key in henri_experiment.predictions:
+            assert np.allclose(
+                restored.predictions[key].comm_parallel,
+                henri_experiment.predictions[key].comm_parallel,
+            )
+
+    def test_errors_json_content(self, henri_experiment, tmp_path):
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        data = json.loads((target / "errors.json").read_text())
+        assert data["platform"] == "henri"
+        assert data["average"] == pytest.approx(henri_experiment.errors.average)
+
+
+class TestErrors:
+    def test_incomplete_archive(self, henri_experiment, tmp_path):
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        (target / "model_local.json").unlink()
+        with pytest.raises(ReproError, match="missing"):
+            load_experiment(target)
+
+    def test_wrong_version(self, henri_experiment, tmp_path):
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        meta = json.loads((target / "meta.json").read_text())
+        meta["format_version"] = 42
+        (target / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ReproError, match="version"):
+            load_experiment(target)
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ReproError, match="missing"):
+            load_experiment(tmp_path)

@@ -1,0 +1,26 @@
+"""Structural comparison against the published Table II."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.compare import compare_to_paper, render_comparison
+
+
+class TestCompare:
+    def test_all_claims_hold(self, all_experiments):
+        checks = compare_to_paper(all_experiments)
+        failed = [c for c in checks if not c.holds]
+        assert not failed, "\n".join(f"{c.claim}: {c.detail}" for c in failed)
+
+    def test_claim_count(self, all_experiments):
+        assert len(compare_to_paper(all_experiments)) == 7
+
+    def test_partial_results_rejected(self, henri_experiment):
+        with pytest.raises(ReproError, match="all platforms"):
+            compare_to_paper({"henri": henri_experiment})
+
+    def test_render(self, all_experiments):
+        text = render_comparison(all_experiments)
+        assert "7/7 structural claims hold" in text
+        assert "Spearman" in text
+        assert "[PASS]" in text and "[FAIL]" not in text

@@ -1,0 +1,86 @@
+"""Model-limits diagnostics tests."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.diagnostics import (
+    comm_drop_onset,
+    diagnose,
+    region_errors,
+    render_diagnosis,
+)
+
+
+class TestOnset:
+    def test_henri_local_model_is_late(self, henri_experiment):
+        """§IV-B a: 'the model predicts a decrease starting with 14
+        computing cores, while it is 10 in reality' — our testbed shows
+        the same direction of error on the local sample."""
+        curves = henri_experiment.dataset.sweep[(0, 0)]
+        prediction = henri_experiment.predictions[(0, 0)]
+        onset = comm_drop_onset(curves, prediction)
+        assert onset.measured_onset is not None
+        assert onset.predicted_onset is not None
+        assert onset.model_is_late
+        assert onset.lateness_cores >= 1
+
+    def test_no_drop_when_no_contention(self, all_experiments):
+        result = all_experiments["occigen"]
+        curves = result.dataset.sweep[(0, 0)]
+        onset = comm_drop_onset(curves, result.predictions[(0, 0)])
+        assert onset.measured_onset is None
+        assert not onset.model_is_late
+        assert onset.lateness_cores == 0
+
+
+class TestRegionErrors:
+    def test_transition_region_is_the_weak_spot(self, henri_experiment):
+        """The paper localises the flaw in the band between the two
+        maxima; the region split makes that measurable."""
+        curves = henri_experiment.dataset.sweep[(0, 0)]
+        prediction = henri_experiment.predictions[(0, 0)]
+        regions = region_errors(curves, prediction, henri_experiment.model.local)
+        assert regions.worst_region() == "transition"
+        assert regions.transition > regions.floor
+
+    def test_empty_region_is_nan(self, henri_experiment):
+        """With N_par == N_seq the transition band is empty."""
+        import dataclasses
+
+        params = henri_experiment.model.local
+        squashed = dataclasses.replace(
+            params,
+            n_par_max=params.n_seq_max,
+            t_par_max=params.t_par_max,
+            t_par_max2=params.t_par_max,
+            delta_l=0.0,
+        )
+        curves = henri_experiment.dataset.sweep[(0, 0)]
+        prediction = henri_experiment.predictions[(0, 0)]
+        regions = region_errors(curves, prediction, squashed)
+        assert np.isnan(regions.transition)
+        assert regions.worst_region() in ("plateau", "floor")
+
+
+class TestDiagnose:
+    def test_covers_all_placements(self, henri_experiment):
+        diagnoses = diagnose(henri_experiment)
+        assert set(diagnoses) == set(henri_experiment.dataset.sweep.placements())
+
+    def test_remote_sample_uses_remote_params(self, henri_experiment):
+        """The diagnosis regimes for (1,1) come from M_remote."""
+        diagnoses = diagnose(henri_experiment)
+        remote = henri_experiment.model.remote
+        regions = diagnoses[(1, 1)].regions
+        # Sanity: the region split was computable with remote knees.
+        assert not np.isnan(regions.floor) or remote.n_seq_max >= 18
+
+    def test_render(self, henri_experiment):
+        text = render_diagnosis(henri_experiment)
+        assert "model-limits diagnosis for henri" in text
+        assert "meas onset" in text
+        assert "too late" in text
+
+    def test_render_quiet_platform(self, all_experiments):
+        text = render_diagnosis(all_experiments["diablo"])
+        assert "diablo" in text

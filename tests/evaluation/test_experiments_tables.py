@@ -1,0 +1,99 @@
+"""Experiment runs, the registry, and table renderers."""
+
+import pytest
+
+from repro.bench import SweepConfig
+from repro.errors import ReproError
+from repro.evaluation import (
+    EXPERIMENTS,
+    render_table1,
+    render_table2,
+    run_platform_experiment,
+)
+from repro.evaluation.experiments import figure_platform
+from repro.evaluation.report import PAPER_TABLE2, generate_experiments_report
+
+
+class TestExperimentRun:
+    def test_accepts_platform_name(self, seeded_config):
+        result = run_platform_experiment("occigen", config=seeded_config)
+        assert result.platform.name == "occigen"
+
+    def test_predictions_cover_all_placements(self, henri_experiment):
+        assert set(henri_experiment.predictions) == set(
+            henri_experiment.dataset.sweep.placements()
+        )
+
+    def test_sample_keys(self, henri_experiment):
+        assert henri_experiment.sample_keys == ((0, 0), (1, 1))
+
+    def test_model_calibrated_from_samples_only(self, henri_experiment):
+        """Re-calibrating from just the two samples gives the same model."""
+        from repro.bench.sweep import run_sample_sweeps
+        from repro.core import calibrate_placement_model
+
+        samples_only = run_sample_sweeps(
+            henri_experiment.platform, config=SweepConfig(seed=1)
+        )
+        model = calibrate_placement_model(samples_only, henri_experiment.platform)
+        assert model.local == henri_experiment.model.local
+        assert model.remote == henri_experiment.model.remote
+
+
+class TestRegistry:
+    def test_every_paper_artefact_present(self):
+        assert set(EXPERIMENTS) == {
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table1",
+            "table2",
+        }
+
+    def test_figure_platform_mapping(self):
+        assert figure_platform("fig3") == "henri"
+        assert figure_platform("fig5") == "diablo"
+        assert figure_platform("fig7") == "pyxis"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError, match="unknown"):
+            figure_platform("fig99")
+
+    def test_all_platform_experiments_rejected(self):
+        with pytest.raises(ReproError, match="all platforms"):
+            figure_platform("table2")
+
+    def test_bench_targets_exist(self):
+        import pathlib
+
+        for spec in EXPERIMENTS.values():
+            assert (pathlib.Path(__file__).parents[2] / spec.bench_target).exists(), (
+                f"{spec.experiment_id} bench target missing: {spec.bench_target}"
+            )
+
+
+class TestTables:
+    def test_table1_contains_all_platforms(self):
+        text = render_table1()
+        for name in ("henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen"):
+            assert name in text
+        assert "OMNI-PATH" in text
+
+    def test_table2_renders_all_rows(self, all_experiments):
+        text = render_table2(all_experiments)
+        assert text.count("%") >= 7 * 7  # 6 platforms + average row
+        assert "Average" in text
+        for name in all_experiments:
+            assert name in text
+
+    def test_report_generation(self, all_experiments):
+        report = generate_experiments_report(all_experiments)
+        assert "# EXPERIMENTS" in report
+        assert "Table II" in report
+        for name in PAPER_TABLE2:
+            assert name in report
+        assert "fig5" in report

@@ -1,0 +1,79 @@
+"""Figure data generation and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.evaluation.figures import (
+    ascii_chart,
+    figure_series,
+    render_figure_ascii,
+    series_to_csv,
+    stacked_figure,
+)
+
+
+class TestFigureSeries:
+    def test_all_placements_present(self, henri_experiment):
+        series = figure_series(henri_experiment)
+        assert set(series) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_series_keys(self, henri_experiment):
+        bundle = figure_series(henri_experiment)[(0, 0)]
+        assert {
+            "n",
+            "meas_comp_alone",
+            "meas_comm_alone",
+            "meas_comp_parallel",
+            "meas_comm_parallel",
+            "model_comp_alone",
+            "model_comp_parallel",
+            "model_comm_parallel",
+            "model_comm_alone",
+        } == set(bundle)
+
+    def test_model_close_to_measurement_on_samples(self, henri_experiment):
+        bundle = figure_series(henri_experiment)[(0, 0)]
+        rel = np.abs(
+            bundle["model_comp_parallel"] - bundle["meas_comp_parallel"]
+        ) / bundle["meas_comp_parallel"]
+        assert rel.mean() < 0.05
+
+    def test_csv_export(self, henri_experiment):
+        text = series_to_csv(figure_series(henri_experiment))
+        lines = text.strip().splitlines()
+        assert lines[0] == "m_comp,m_comm,series,n,gbps"
+        # 4 placements x 8 series x 18 points.
+        assert len(lines) == 1 + 4 * 8 * 18
+
+
+class TestStackedFigure:
+    def test_stacked_from_experiment(self, henri_experiment):
+        view = stacked_figure(henri_experiment)
+        assert view.points["(1, Bcomp_seq)"][1] == pytest.approx(
+            henri_experiment.model.local.b_comp_seq
+        )
+
+
+class TestAsciiRendering:
+    def test_chart_renders(self):
+        text = ascii_chart(
+            [1, 2, 3, 4],
+            {"a": [1.0, 2.0, 3.0, 4.0], "b": [4.0, 3.0, 2.0, 1.0]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_chart_requires_series(self):
+        with pytest.raises(ReproError):
+            ascii_chart([1], {})
+
+    def test_figure_ascii(self, henri_experiment):
+        text = render_figure_ascii(henri_experiment, placements=[(0, 0)])
+        assert "calibration sample" in text
+        assert "comm_par(meas)" in text
+
+    def test_figure_ascii_unknown_placement(self, henri_experiment):
+        with pytest.raises(ReproError, match="no series"):
+            render_figure_ascii(henri_experiment, placements=[(9, 9)])

@@ -1,0 +1,63 @@
+"""MAPE and the Table II error breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sweep import sample_placements
+from repro.errors import ModelError
+from repro.evaluation import mape, placement_errors
+
+
+class TestMape:
+    def test_exact_prediction(self):
+        assert mape([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # Errors of 10% and 30% -> mean 20%.
+        assert mape([10.0, 10.0], [11.0, 13.0]) == pytest.approx(20.0)
+
+    def test_symmetric_in_sign(self):
+        assert mape([10.0], [9.0]) == mape([10.0], [11.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError, match="shape"):
+            mape([1.0, 2.0], [1.0])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ModelError, match="zero"):
+            mape([0.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            mape([], [])
+
+    def test_accepts_numpy(self):
+        assert mape(np.array([4.0]), np.array([2.0])) == pytest.approx(50.0)
+
+
+class TestPlacementErrors:
+    def test_breakdown_structure(self, henri_experiment):
+        errors = henri_experiment.errors
+        assert errors.platform_name == "henri"
+        # Sample and non-sample groups both populated on a 2-node machine.
+        assert errors.comm_samples > 0
+        assert errors.comm_non_samples > 0
+        assert errors.average == pytest.approx(
+            0.5 * (errors.comm_all + errors.comp_all)
+        )
+
+    def test_all_is_between_groups(self, henri_experiment):
+        e = henri_experiment.errors
+        lo, hi = sorted([e.comm_samples, e.comm_non_samples])
+        assert lo - 1e-9 <= e.comm_all <= hi + 1e-9
+
+    def test_as_row_length(self, henri_experiment):
+        assert len(henri_experiment.errors.as_row()) == 7
+
+    def test_recompute_matches(self, henri_experiment):
+        recomputed = placement_errors(
+            henri_experiment.dataset,
+            henri_experiment.model,
+            sample_placements(henri_experiment.platform),
+        )
+        assert recomputed == henri_experiment.errors

@@ -1,0 +1,54 @@
+"""SVG figure rendering tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import stacked_view
+from repro.evaluation.svg import COMM_COLOR, COMP_COLOR, figure_svg, stacked_svg
+
+
+class TestFigureSvg:
+    @pytest.fixture(scope="class")
+    def svg(self, henri_experiment):
+        return figure_svg(henri_experiment)
+
+    def test_is_wellformed_xml(self, svg):
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_all_placements(self, svg):
+        for m_comp in (0, 1):
+            for m_comm in (0, 1):
+                assert f"comp data: node {m_comp} — comm data: node {m_comm}" in svg
+
+    def test_both_series_colors_present(self, svg):
+        assert COMM_COLOR in svg
+        assert COMP_COLOR in svg
+
+    def test_samples_framed_bold(self, svg):
+        # Two sample panels -> two thick frames.
+        assert svg.count('stroke-width="2.4"') == 2
+
+    def test_mentions_platform(self, svg):
+        assert "henri" in svg
+
+    def test_subnuma_grid_is_16_panels(self, all_experiments):
+        svg = figure_svg(all_experiments["henri-subnuma"])
+        assert svg.count("comp data: node") == 16
+        ET.fromstring(svg)  # well-formed despite the size
+
+
+class TestStackedSvg:
+    def test_renders_and_annotates(self, henri_experiment):
+        view = stacked_view(henri_experiment.model.local)
+        svg = stacked_svg(view)
+        ET.fromstring(svg)
+        for label in view.points:
+            assert label.split(",")[0].strip("( ") in svg
+        assert "stacked memory bandwidth" in svg
+
+    def test_areas_present(self, henri_experiment):
+        view = stacked_view(henri_experiment.model.local)
+        svg = stacked_svg(view)
+        assert svg.count("<polygon") >= 2  # the two stacked bands

@@ -1,0 +1,51 @@
+"""The headline claims are not seed-lucky.
+
+The reproduction's Table II numbers depend on seeded measurement noise;
+these tests re-run the pipeline under different seeds and check the
+paper's orderings hold for each — i.e. the platform tuning encodes
+genuine behaviour, not a fortunate draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import SweepConfig
+from repro.evaluation import run_platform_experiment
+
+SEEDS = (2, 17, 123)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_results(request):
+    seed = request.param
+    config = SweepConfig(seed=seed)
+    return {
+        name: run_platform_experiment(name, config=config)
+        for name in ("henri", "pyxis", "occigen", "diablo")
+    }
+
+
+class TestStableClaims:
+    def test_occigen_stays_most_accurate(self, seeded_results):
+        averages = {n: r.errors.average for n, r in seeded_results.items()}
+        assert min(averages, key=averages.get) == "occigen"
+
+    def test_pyxis_stays_worst(self, seeded_results):
+        averages = {n: r.errors.average for n, r in seeded_results.items()}
+        assert max(averages, key=averages.get) == "pyxis"
+
+    def test_pyxis_comm_non_samples_double_digit(self, seeded_results):
+        assert seeded_results["pyxis"].errors.comm_non_samples >= 9.0
+
+    def test_henri_in_paper_band(self, seeded_results):
+        errors = seeded_results["henri"].errors
+        assert errors.average < 4.0
+        assert errors.comm_all < 6.0
+
+    def test_diablo_low_error(self, seeded_results):
+        assert seeded_results["diablo"].errors.average < 2.0
+
+    def test_comp_beats_comm_overall(self, seeded_results):
+        comm = np.mean([r.errors.comm_all for r in seeded_results.values()])
+        comp = np.mean([r.errors.comp_all for r in seeded_results.values()])
+        assert comp < comm

@@ -1,0 +1,127 @@
+"""LLC model tests (§VI future work)."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels import copy_kernel, memset_nt
+from repro.kernels.cache import (
+    COMPULSORY_FLOOR,
+    CacheModel,
+    dram_traffic_factor,
+    llc_bytes_per_thread,
+)
+from repro.units import MiB
+
+
+def temporal_copy():
+    return dataclasses.replace(copy_kernel(), non_temporal=False)
+
+
+class TestTrafficFactor:
+    def test_non_temporal_always_bypasses(self):
+        """§II-C: NT stores go straight to memory, whatever the size."""
+        for ws in (MiB, 64 * MiB):
+            assert dram_traffic_factor(
+                memset_nt(), working_set_bytes=ws, llc_share_bytes=8 * MiB
+            ) == 1.0
+
+    def test_resident_working_set_filtered(self):
+        factor = dram_traffic_factor(
+            temporal_copy(), working_set_bytes=MiB, llc_share_bytes=8 * MiB
+        )
+        assert factor == COMPULSORY_FLOOR
+
+    def test_oversized_working_set_partially_cached(self):
+        factor = dram_traffic_factor(
+            temporal_copy(), working_set_bytes=4 * MiB, llc_share_bytes=MiB
+        )
+        assert factor == pytest.approx(0.75)
+
+    def test_huge_working_set_full_traffic(self):
+        factor = dram_traffic_factor(
+            temporal_copy(), working_set_bytes=1024 * MiB, llc_share_bytes=MiB
+        )
+        assert factor > 0.999
+
+    def test_monotone_in_working_set(self):
+        factors = [
+            dram_traffic_factor(
+                temporal_copy(), working_set_bytes=ws, llc_share_bytes=4 * MiB
+            )
+            for ws in (MiB, 4 * MiB, 16 * MiB, 64 * MiB)
+        ]
+        assert factors == sorted(factors)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            dram_traffic_factor(
+                temporal_copy(), working_set_bytes=0, llc_share_bytes=1
+            )
+        with pytest.raises(SimulationError):
+            dram_traffic_factor(
+                temporal_copy(), working_set_bytes=1, llc_share_bytes=-1
+            )
+
+
+class TestLlcShare:
+    def test_henri_share(self, henri):
+        full = llc_bytes_per_thread(henri.machine, 1)
+        assert full == henri.machine.sockets[0].caches[0].size_bytes
+        assert llc_bytes_per_thread(henri.machine, 18) == full // 18
+
+    def test_cacheless_machine_rejected(self):
+        from repro.topology import MachineBuilder
+        from repro.units import GiB
+
+        machine = (
+            MachineBuilder("bare")
+            .processor("cpu", cores_per_socket=2, sockets=2)
+            .numa(nodes_per_socket=1, memory_bytes=GiB, controller_gbps=10.0)
+            .interconnect(gbps=5.0)
+            .network("n", line_rate_gbps=5.0, pcie_gbps=6.0)
+            .build()
+        )
+        with pytest.raises(SimulationError, match="no cache"):
+            llc_bytes_per_thread(machine, 2)
+
+
+class TestCacheModelContention:
+    def test_cached_kernel_relieves_contention(self, henri):
+        """The future-work answer: a temporal kernel whose working set
+        fits in the LLC stops pressing the memory system, so the NIC
+        keeps its nominal bandwidth even at full socket."""
+        from repro.memsim import Scenario, solve_scenario
+
+        n = henri.cores_per_socket
+        cache = CacheModel(machine=henri.machine, n_threads=n)
+        small_ws = cache.llc_share_bytes // 2
+        demand = cache.effective_demand_gbps(
+            temporal_copy(),
+            working_set_bytes=small_ws,
+            stream_gbps=henri.profile.core_stream_local_gbps,
+        )
+        cached = solve_scenario(
+            henri.machine,
+            henri.profile,
+            Scenario(n, 0, 0, comp_demand_gbps=demand, comp_issue_gbps=demand),
+        )
+        uncached = solve_scenario(
+            henri.machine, henri.profile, Scenario(n, 0, 0)
+        )
+        assert cached.comm_gbps == pytest.approx(12.3, rel=0.02)
+        assert uncached.comm_gbps < 0.6 * 12.3
+
+    def test_large_working_set_behaves_like_nt(self, henri):
+        cache = CacheModel(machine=henri.machine, n_threads=8)
+        big = 1024 * MiB
+        factor = cache.traffic_factor(temporal_copy(), big)
+        assert factor > 0.97
+
+    def test_effective_demand_validation(self, henri):
+        cache = CacheModel(machine=henri.machine, n_threads=4)
+        with pytest.raises(SimulationError):
+            cache.effective_demand_gbps(
+                temporal_copy(), working_set_bytes=MiB, stream_gbps=0.0
+            )

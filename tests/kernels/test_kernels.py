@@ -1,0 +1,145 @@
+"""Kernels: memory decomposition, roofline demand, compute team."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels import (
+    ComputeTeam,
+    Kernel,
+    copy_kernel,
+    demand_gbps,
+    get_kernel,
+    memset_nt,
+    triad_kernel,
+)
+from repro.memsim import Engine
+from repro.units import MiB
+
+
+class TestKernelDefinitions:
+    def test_memset_is_pure_writes(self):
+        k = memset_nt()
+        assert k.bytes_read == 0
+        assert k.bytes_written == 8
+        assert k.write_fraction == 1.0
+        assert k.arithmetic_intensity == 0.0
+        assert k.non_temporal
+
+    def test_copy_reads_and_writes(self):
+        k = copy_kernel()
+        assert k.bytes_read == k.bytes_written == 8
+        assert k.write_fraction == 0.5
+
+    def test_triad_shape(self):
+        k = triad_kernel()
+        assert k.bytes_per_element == 24
+        assert k.flops == 2
+        assert k.arithmetic_intensity == pytest.approx(2 / 24)
+
+    def test_traffic_bytes(self):
+        assert memset_nt().traffic_bytes(1000) == 8000
+        assert copy_kernel().traffic_bytes(1000) == 16000
+
+    def test_duration(self):
+        k = memset_nt()
+        # 8 GB at 8 GB/s = 1 s.
+        assert k.duration_seconds(10**9, 8.0) == pytest.approx(1.0)
+
+    def test_zero_traffic_kernel_rejected(self):
+        with pytest.raises(SimulationError, match="memory"):
+            Kernel(name="alu", bytes_read=0, bytes_written=0, flops=8)
+
+    def test_lookup(self):
+        assert get_kernel("memset_nt").name == "memset_nt"
+        with pytest.raises(SimulationError, match="built-ins"):
+            get_kernel("nope")
+
+
+class TestRooflineDemand:
+    def test_memory_bound_gets_full_stream(self):
+        assert demand_gbps(memset_nt(), core_stream_gbps=6.8) == 6.8
+
+    def test_zero_flops_ignores_flop_rate(self):
+        assert demand_gbps(memset_nt(), core_stream_gbps=6.8, core_gflops=50.0) == 6.8
+
+    def test_compute_bound_kernel_demands_less(self):
+        heavy = Kernel(name="heavy", bytes_read=8, bytes_written=8, flops=512)
+        # intensity 32 flop/B; 16 GFLOP/s -> 0.5 GB/s demand.
+        assert demand_gbps(heavy, core_stream_gbps=6.8, core_gflops=16.0) == pytest.approx(0.5)
+
+    def test_roofline_crossover(self):
+        triad = triad_kernel()  # intensity 1/12
+        # flop-limited bandwidth = 12 * gflops; crossover at gflops ~ 0.57.
+        assert demand_gbps(triad, core_stream_gbps=6.8, core_gflops=10.0) == 6.8
+        assert demand_gbps(triad, core_stream_gbps=6.8, core_gflops=0.2) == pytest.approx(2.4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            demand_gbps(memset_nt(), core_stream_gbps=0.0)
+        with pytest.raises(SimulationError):
+            demand_gbps(memset_nt(), core_stream_gbps=5.0, core_gflops=-1.0)
+
+
+class TestComputeTeam:
+    def test_thread_binding_compact(self, henri):
+        team = ComputeTeam(
+            henri.machine, henri.profile, n_threads=4, data_node=0, kernel=memset_nt()
+        )
+        assert team.thread_cores() == (0, 1, 2, 3)
+
+    def test_too_many_threads_rejected(self, henri):
+        with pytest.raises(SimulationError, match="physical core"):
+            ComputeTeam(
+                henri.machine,
+                henri.profile,
+                n_threads=19,
+                data_node=0,
+                kernel=memset_nt(),
+            )
+
+    def test_streams_have_local_issue_pressure(self, henri):
+        team = ComputeTeam(
+            henri.machine, henri.profile, n_threads=2, data_node=1, kernel=memset_nt()
+        )
+        for stream in team.streams():
+            assert stream.demand_gbps == henri.profile.core_stream_remote_gbps
+            assert stream.issue_gbps == henri.profile.core_stream_local_gbps
+
+    def test_weak_scaling_run(self, henri):
+        engine = Engine(henri.machine, henri.profile)
+        team = ComputeTeam(
+            henri.machine, henri.profile, n_threads=4, data_node=0, kernel=memset_nt()
+        )
+        run = team.run(engine, elements_per_thread=4 * MiB)
+        engine.run()
+        # 4 threads at 6.8 GB/s each, no contention.
+        assert run.total_bandwidth_gbps() == pytest.approx(4 * 6.8, rel=1e-6)
+        assert run.makespan_seconds == pytest.approx(
+            memset_nt().traffic_bytes(4 * MiB) / 6.8e9, rel=1e-6
+        )
+
+    def test_copy_kernel_moves_twice_the_bytes(self, henri):
+        engine = Engine(henri.machine, henri.profile)
+        memset_team = ComputeTeam(
+            henri.machine, henri.profile, n_threads=1, data_node=0, kernel=memset_nt()
+        )
+        run_a = memset_team.run(engine, elements_per_thread=MiB)
+        engine.run()
+        engine2 = Engine(henri.machine, henri.profile)
+        copy_team = ComputeTeam(
+            henri.machine, henri.profile, n_threads=1, data_node=0, kernel=copy_kernel()
+        )
+        run_b = copy_team.run(engine2, elements_per_thread=MiB)
+        engine2.run()
+        assert run_b.makespan_seconds == pytest.approx(
+            2 * run_a.makespan_seconds, rel=1e-6
+        )
+
+    def test_unfinished_makespan_rejected(self, henri):
+        engine = Engine(henri.machine, henri.profile)
+        team = ComputeTeam(
+            henri.machine, henri.profile, n_threads=1, data_node=0, kernel=memset_nt()
+        )
+        run = team.run(engine, elements_per_thread=MiB)
+        with pytest.raises(SimulationError, match="unfinished"):
+            run.makespan_seconds

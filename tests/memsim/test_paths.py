@@ -1,0 +1,115 @@
+"""Topology → resource mapping and stream path resolution."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim import StreamKind, build_resources, stream_path
+from repro.memsim.resource import ResourceKind
+
+
+class TestBuildResources:
+    def test_henri_resource_set(self, henri):
+        rmap = build_resources(henri.machine, henri.profile)
+        ids = rmap.ids()
+        assert "ctrl:0" in ids and "ctrl:1" in ids
+        assert "mesh:0" in ids and "mesh:1" in ids
+        assert "link:0->1" in ids and "link:1->0" in ids
+        assert "pcie:0" in ids and "nic:0" in ids
+        assert "pcie-tx:0" in ids and "nic-tx:0" in ids  # full duplex
+        assert len(rmap) == 10
+
+    def test_controller_capacities(self, henri):
+        rmap = build_resources(henri.machine, henri.profile)
+        ctrl = rmap["ctrl:0"]
+        assert ctrl.capacity_gbps == pytest.approx(88.0)
+        assert ctrl.remote_capacity_gbps == pytest.approx(
+            88.0 * henri.profile.remote_capacity_fraction
+        )
+
+    def test_default_mesh_budget(self, henri):
+        rmap = build_resources(henri.machine, henri.profile)
+        mesh = rmap["mesh:0"]
+        expected = 1.08 * 88.0 + henri.machine.nic.line_rate_gbps
+        assert mesh.capacity_gbps == pytest.approx(expected)
+        assert mesh.kind is ResourceKind.SOCKET_MESH
+
+    def test_explicit_mesh_override(self, henri):
+        profile = henri.profile.with_overrides(mesh_gbps=123.0)
+        rmap = build_resources(henri.machine, profile)
+        assert rmap["mesh:0"].capacity_gbps == 123.0
+
+    def test_unknown_resource_raises_with_known_list(self, henri):
+        rmap = build_resources(henri.machine, henri.profile)
+        with pytest.raises(SimulationError, match="ctrl:0"):
+            rmap["bogus"]
+
+    def test_contains(self, henri):
+        rmap = build_resources(henri.machine, henri.profile)
+        assert "ctrl:1" in rmap
+        assert "ctrl:9" not in rmap
+
+    def test_diablo_nic_resources_on_socket1(self, diablo):
+        rmap = build_resources(diablo.machine, diablo.profile)
+        assert "pcie:1" in rmap and "nic:1" in rmap
+        assert "pcie:0" not in rmap
+
+
+class TestStreamPath:
+    def test_cpu_local(self, henri):
+        path = stream_path(
+            henri.machine, StreamKind.CPU, origin_socket=0, target_numa=0
+        )
+        assert path == ("mesh:0", "ctrl:0")
+
+    def test_cpu_remote_crosses_link(self, henri):
+        path = stream_path(
+            henri.machine, StreamKind.CPU, origin_socket=0, target_numa=1
+        )
+        assert path == ("mesh:0", "link:0->1", "ctrl:1")
+
+    def test_dma_local(self, henri):
+        path = stream_path(
+            henri.machine, StreamKind.DMA, origin_socket=0, target_numa=0
+        )
+        assert path == ("nic:0", "pcie:0", "mesh:0", "ctrl:0")
+
+    def test_dma_remote(self, henri):
+        path = stream_path(
+            henri.machine, StreamKind.DMA, origin_socket=0, target_numa=1
+        )
+        assert path == ("nic:0", "pcie:0", "mesh:0", "link:0->1", "ctrl:1")
+
+    def test_diablo_dma_to_node0_crosses_reverse_link(self, diablo):
+        """NIC on socket 1 writing to node 0: opposite link direction."""
+        path = stream_path(
+            diablo.machine, StreamKind.DMA, origin_socket=1, target_numa=0
+        )
+        assert path == ("nic:1", "pcie:1", "mesh:1", "link:1->0", "ctrl:0")
+
+    def test_dma_from_wrong_socket_rejected(self, henri):
+        with pytest.raises(SimulationError, match="NIC socket"):
+            stream_path(
+                henri.machine, StreamKind.DMA, origin_socket=1, target_numa=0
+            )
+
+    def test_controllers_are_terminal(self, henri_subnuma):
+        """The cascade solver requires controllers last on every path."""
+        machine = henri_subnuma.machine
+        for kind in (StreamKind.CPU, StreamKind.DMA):
+            origin = machine.nic.socket if kind is StreamKind.DMA else 0
+            for node in range(machine.n_numa_nodes):
+                path = stream_path(
+                    machine, kind, origin_socket=origin, target_numa=node
+                )
+                assert path[-1] == f"ctrl:{node}"
+                assert all(not p.startswith("ctrl") for p in path[:-1])
+
+    def test_directional_links_disjoint(self, diablo):
+        """Comp 0->1 and NIC 1->0 must not share a link resource."""
+        cpu = stream_path(
+            diablo.machine, StreamKind.CPU, origin_socket=0, target_numa=1
+        )
+        dma = stream_path(
+            diablo.machine, StreamKind.DMA, origin_socket=1, target_numa=0
+        )
+        assert set(cpu) & set(dma) == set()

@@ -1,0 +1,67 @@
+"""ContentionProfile validation and helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim import ContentionProfile
+
+
+def make_profile(**overrides):
+    base = dict(core_stream_local_gbps=6.0, core_stream_remote_gbps=2.5)
+    base.update(overrides)
+    return ContentionProfile(**base)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        make_profile()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("core_stream_local_gbps", 0.0),
+            ("core_stream_remote_gbps", -1.0),
+            ("nic_min_fraction", 0.0),
+            ("nic_min_fraction", 1.5),
+            ("sag_onset", 0.0),
+            ("sag_span", 0.0),
+            ("interference_core_gbps", -0.1),
+            ("remote_capacity_fraction", 0.0),
+            ("remote_capacity_fraction", 1.2),
+            ("comp_noise_sigma", -0.1),
+            ("saturation_sharpness", 0.0),
+            ("nic_cross_penalty", -0.1),
+            ("nic_cross_penalty", 1.0),
+            ("mesh_gbps", 0.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(SimulationError):
+            make_profile(**{field: value})
+
+    def test_nic_locality_override_must_be_positive(self):
+        with pytest.raises(SimulationError, match="locality"):
+            make_profile(nic_locality_gbps={0: 0.0})
+
+
+class TestHelpers:
+    def test_core_stream_selects_locality(self):
+        profile = make_profile()
+        assert profile.core_stream_gbps(local=True) == 6.0
+        assert profile.core_stream_gbps(local=False) == 2.5
+
+    def test_nic_nominal_uses_override(self):
+        profile = make_profile(nic_locality_gbps={1: 22.4})
+        assert profile.nic_nominal_gbps(1, 25.0) == 22.4
+        assert profile.nic_nominal_gbps(0, 25.0) == 25.0
+
+    def test_with_overrides_returns_modified_copy(self):
+        profile = make_profile()
+        changed = profile.with_overrides(cpu_priority=False)
+        assert changed.cpu_priority is False
+        assert profile.cpu_priority is True
+        assert changed.core_stream_local_gbps == profile.core_stream_local_gbps
+
+    def test_with_overrides_still_validates(self):
+        with pytest.raises(SimulationError):
+            make_profile().with_overrides(nic_min_fraction=2.0)

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on the simulator's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import (
+    Arbiter,
+    ContentionProfile,
+    Scenario,
+    build_resources,
+    solve_scenario,
+)
+from repro.memsim.policies import smooth_min, waterfill
+from repro.topology import MachineBuilder, validate_machine
+from repro.units import GiB
+
+# ---- waterfill ---------------------------------------------------------------
+
+
+@given(
+    offers=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20),
+    budget=st.floats(0.0, 500.0),
+)
+def test_waterfill_conserves_and_caps(offers, budget):
+    shares = waterfill(offers, budget)
+    assert len(shares) == len(offers)
+    for share, offer in zip(shares, offers):
+        assert 0.0 <= share <= offer + 1e-9
+    assert sum(shares) <= min(sum(offers), budget) + 1e-6
+
+
+@given(
+    offers=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=20),
+    budget=st.floats(0.1, 500.0),
+)
+def test_waterfill_work_conserving(offers, budget):
+    """Everything that fits is allocated."""
+    shares = waterfill(offers, budget)
+    assert sum(shares) >= min(sum(offers), budget) - 1e-6
+
+
+@given(
+    offers=st.lists(st.floats(0.1, 50.0), min_size=2, max_size=20),
+    budget=st.floats(0.1, 100.0),
+)
+def test_waterfill_egalitarian(offers, budget):
+    """No stream below the equal share unless its own offer is smaller."""
+    shares = waterfill(offers, budget)
+    fair = budget / len(offers)
+    for share, offer in zip(shares, offers):
+        assert share >= min(offer, fair) - 1e-6
+
+
+# ---- smooth_min ------------------------------------------------------------------
+
+
+@given(
+    a=st.floats(0.0, 1000.0),
+    b=st.floats(0.0, 1000.0),
+    width=st.floats(0.0, 100.0),
+)
+def test_smooth_min_bounds(a, b, width):
+    value = smooth_min(a, b, width)
+    assert value <= min(a, b) + 1e-9
+    assert value >= min(a, b) - width / 4.0 - 1e-9
+
+
+@given(a=st.floats(0.0, 1000.0), b=st.floats(0.0, 1000.0))
+def test_smooth_min_symmetric(a, b):
+    assert smooth_min(a, b, 7.0) == smooth_min(b, a, 7.0)
+
+
+# ---- arbiter over random machines -------------------------------------------------
+
+
+@st.composite
+def machine_and_profile(draw):
+    cores = draw(st.integers(2, 24))
+    nodes = draw(st.integers(1, 2))
+    ctrl = draw(st.floats(20.0, 150.0))
+    link = draw(st.floats(15.0, 80.0))
+    nic_rate = draw(st.floats(4.0, 25.0))
+    nic_socket = draw(st.integers(0, 1))
+    machine = (
+        MachineBuilder("prop")
+        .processor("cpu", cores_per_socket=cores, sockets=2)
+        .numa(nodes_per_socket=nodes, memory_bytes=GiB, controller_gbps=ctrl)
+        .interconnect(gbps=link)
+        .network(
+            "nic",
+            line_rate_gbps=nic_rate,
+            pcie_gbps=nic_rate * 1.1,
+            socket=nic_socket,
+        )
+        .build()
+    )
+    validate_machine(machine)
+    profile = ContentionProfile(
+        core_stream_local_gbps=draw(st.floats(1.0, 8.0)),
+        core_stream_remote_gbps=draw(st.floats(0.5, 4.0)),
+        nic_min_fraction=draw(st.floats(0.1, 1.0)),
+        sag_onset=draw(st.floats(0.5, 1.0)),
+        sag_span=draw(st.floats(0.1, 0.8)),
+        interference_core_gbps=draw(st.floats(0.0, 1.0)),
+        interference_mixed_gbps=draw(st.floats(0.0, 2.0)),
+        dma_concurrency_bonus=draw(st.floats(0.0, 0.1)),
+        remote_capacity_fraction=draw(st.floats(0.3, 1.0)),
+        saturation_sharpness=draw(st.floats(3.0, 50.0)),
+    )
+    n = draw(st.integers(1, cores))
+    m_comp = draw(st.integers(0, 2 * nodes - 1))
+    m_comm = draw(st.integers(0, 2 * nodes - 1))
+    return machine, profile, n, m_comp, m_comm
+
+
+@settings(max_examples=120, deadline=None)
+@given(params=machine_and_profile())
+def test_arbiter_invariants_on_random_machines(params):
+    machine, profile, n, m_comp, m_comm = params
+    result = solve_scenario(machine, profile, Scenario(n, m_comp, m_comm))
+    allocation = result.allocation
+
+    # Rates are non-negative and bounded by demand.
+    core_demand = profile.core_stream_gbps(
+        local=machine.socket_of_numa(m_comp) == 0
+    )
+    for rate in result.comp_per_core_gbps:
+        assert -1e-9 <= rate <= core_demand + 1e-9
+    nic_nominal = profile.nic_nominal_gbps(m_comm, machine.nic.line_rate_gbps)
+    assert -1e-9 <= result.comm_gbps <= nic_nominal + 1e-9
+
+    # Conservation at every resource.
+    for rid, usage in allocation.resource_usage.items():
+        assert usage <= allocation.effective_capacity[rid] + 1e-6
+
+    # Uniform degradation between computing cores.
+    if result.comp_per_core_gbps:
+        rates = np.asarray(result.comp_per_core_gbps)
+        assert rates.max() - rates.min() < 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=machine_and_profile())
+def test_comm_floor_on_random_machines(params):
+    """The anti-starvation guarantee holds for any machine shape."""
+    machine, profile, n, m_comp, m_comm = params
+    result = solve_scenario(machine, profile, Scenario(n, m_comp, m_comm))
+    nic_nominal = profile.nic_nominal_gbps(m_comm, machine.nic.line_rate_gbps)
+    if profile.nic_cross_penalty == 0.0 and nic_nominal <= machine.nic.pcie_gbps:
+        floor = profile.nic_min_fraction * nic_nominal
+        # The floor is honoured up to what the NIC's path can physically
+        # carry under the final traffic mix (interference can shrink a
+        # controller below the requested floor — the NIC then gets
+        # everything that is left, which is the strongest possible
+        # guarantee).
+        from repro.memsim.scenario import build_streams
+
+        nic = next(
+            s
+            for s in build_streams(machine, profile, Scenario(n, m_comp, m_comm))
+            if s.is_dma
+        )
+        # The smooth saturation knee can dip the usable bandwidth up to
+        # capacity/(4 * sharpness) below the effective capacity, and
+        # waiting CPU streams always claim at least (1 - DMA_MAX) of a
+        # saturated resource (CPU priority).
+        from repro.memsim.policies import _DMA_MAX_FRACTION
+
+        cpu_claim = _DMA_MAX_FRACTION if n > 0 else 1.0
+        path_capacity = min(
+            result.allocation.effective_capacity[rid]
+            * (1.0 - 1.0 / (4.0 * profile.saturation_sharpness))
+            * cpu_claim
+            for rid in nic.path
+        )
+        assert result.comm_gbps >= min(floor, nic_nominal, path_capacity) - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=machine_and_profile(), seed=st.integers(0, 2**31 - 1))
+def test_arbiter_deterministic(params, seed):
+    machine, profile, n, m_comp, m_comm = params
+    a = solve_scenario(machine, profile, Scenario(n, m_comp, m_comm))
+    b = solve_scenario(machine, profile, Scenario(n, m_comp, m_comm))
+    assert a.comp_total_gbps == b.comp_total_gbps
+    assert a.comm_gbps == b.comm_gbps

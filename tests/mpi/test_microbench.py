@@ -1,0 +1,68 @@
+"""MPI microbenchmark tests."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.mpi.microbench import (
+    MessagePoint,
+    default_message_sizes,
+    message_size_sweep,
+)
+from repro.net.protocol import Protocol
+from repro.units import KiB, MB
+
+
+class TestDefaultSizes:
+    def test_powers_of_two(self):
+        sizes = default_message_sizes(8 * KiB)
+        assert sizes == [1024, 2048, 4096, 8192]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CommunicationError):
+            default_message_sizes(512)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self, henri):
+        return message_size_sweep(henri, sizes=default_message_sizes(16 * 2**20))
+
+    def test_protocol_crossover(self, points):
+        small = [p for p in points if p.nbytes <= 32 * KiB]
+        large = [p for p in points if p.nbytes > 32 * KiB]
+        assert all(p.protocol is Protocol.EAGER for p in small)
+        assert all(p.protocol is Protocol.RENDEZVOUS for p in large)
+
+    def test_latency_monotone_in_size(self, points):
+        latencies = [p.latency_s for p in points]
+        assert latencies == sorted(latencies)
+
+    def test_bandwidth_approaches_nominal(self, points, henri):
+        assert points[-1].bandwidth_gbps > 0.9 * henri.machine.nic.line_rate_gbps
+
+    def test_small_messages_latency_bound(self, points):
+        # A 1 KiB message is dominated by wire latency: far below nominal.
+        assert points[0].bandwidth_gbps < 2.0
+
+    def test_rendezvous_handshake_visible(self, henri):
+        """Just above the eager threshold, the handshake adds latency:
+        the bytes/latency ratio dips relative to just below it."""
+        below = message_size_sweep(henri, sizes=[32 * KiB])[0]
+        above = message_size_sweep(henri, sizes=[32 * KiB + 1024])[0]
+        assert above.latency_s > below.latency_s
+        assert above.protocol is Protocol.RENDEZVOUS
+
+    def test_locality_affects_bandwidth(self, diablo):
+        near = message_size_sweep(diablo, sizes=[64 * MB], dest_node=1)[0]
+        far = message_size_sweep(diablo, sizes=[64 * MB], dest_node=0)[0]
+        assert near.bandwidth_gbps > 1.5 * far.bandwidth_gbps
+
+    def test_invalid_sizes(self, henri):
+        with pytest.raises(CommunicationError):
+            message_size_sweep(henri, sizes=[])
+        with pytest.raises(CommunicationError):
+            message_size_sweep(henri, sizes=[0])
+
+    def test_point_is_value_object(self, points):
+        assert isinstance(points[0], MessagePoint)
+        assert points[0].nbytes == 1024

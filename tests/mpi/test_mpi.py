@@ -1,0 +1,173 @@
+"""Mini-MPI layer: requests, progression modes, overlap."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.kernels import ComputeTeam, memset_nt
+from repro.mpi import ProgressMode, SimBuffer, SimMPI
+from repro.units import MB, MiB
+
+
+class TestBuffers:
+    def test_valid(self, henri):
+        SimBuffer(64 * MB, numa_node=0).validate_on(henri.machine)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CommunicationError):
+            SimBuffer(0, numa_node=0)
+
+    def test_unknown_node_rejected(self, henri):
+        with pytest.raises(Exception):
+            SimBuffer(64 * MB, numa_node=9).validate_on(henri.machine)
+
+    def test_oversized_buffer_rejected(self, henri):
+        too_big = henri.machine.numa_node(0).memory_bytes + 1
+        with pytest.raises(CommunicationError, match="fit"):
+            SimBuffer(too_big, numa_node=0).validate_on(henri.machine)
+
+
+class TestRecv:
+    def test_recv_at_nominal_bandwidth(self, henri):
+        world = SimMPI(henri)
+        req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+        world.wait(req)
+        assert req.done
+        assert req.observed_gbps() == pytest.approx(12.3, rel=0.02)
+
+    def test_wait_idempotent_via_done(self, henri):
+        world = SimMPI(henri)
+        req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+        t1 = world.wait(req)
+        t2 = world.wait(req)
+        assert t1 == t2
+
+    def test_foreign_request_rejected(self, henri):
+        world_a = SimMPI(henri)
+        world_b = SimMPI(henri)
+        req = world_a.irecv(SimBuffer(64 * MB, numa_node=0))
+        with pytest.raises(CommunicationError, match="belong"):
+            world_b.wait(req)
+
+    def test_waitall(self, henri):
+        world = SimMPI(henri)
+        reqs = [
+            world.irecv(SimBuffer(16 * MB, numa_node=0)),
+            world.irecv(SimBuffer(16 * MB, numa_node=1)),
+        ]
+        end = world.waitall(reqs)
+        assert all(r.done for r in reqs)
+        assert end == max(r.completion_time() for r in reqs)
+
+    def test_waitall_empty_rejected(self, henri):
+        with pytest.raises(CommunicationError):
+            SimMPI(henri).waitall([])
+
+    def test_unfinished_metrics_rejected(self, henri):
+        world = SimMPI(henri)
+        req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+        with pytest.raises(CommunicationError, match="not completed"):
+            req.observed_gbps()
+
+
+class TestSend:
+    def test_send_completes(self, henri):
+        world = SimMPI(henri)
+        req = world.isend(SimBuffer(64 * MB, numa_node=0))
+        world.wait(req)
+        assert req.observed_gbps() == pytest.approx(12.3, rel=0.05)
+
+    def test_pingpong_future_work(self, henri):
+        """Bidirectional data movement (§VI future work)."""
+        world = SimMPI(henri)
+        rx = world.irecv(SimBuffer(32 * MB, numa_node=0))
+        tx = world.isend(SimBuffer(32 * MB, numa_node=0))
+        world.waitall([rx, tx])
+        assert rx.done and tx.done
+
+
+class TestProgressModes:
+    def test_thread_mode_overlaps(self, henri):
+        """Threaded progression: transfer advances during computation."""
+        world = SimMPI(henri, progress=ProgressMode.THREAD)
+        team = ComputeTeam(
+            henri.machine,
+            henri.profile,
+            n_threads=8,
+            data_node=1,  # different node: no memory contention
+            kernel=memset_nt(),
+        )
+        req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+        run = team.run(world.engine, elements_per_thread=4 * MiB)
+        world.wait(req)
+        world.engine.run()
+        comm_time = req.completion_time() - req.posted_at
+        # Overlapped: total time ~ max of the two, not the sum.
+        assert world.engine.now < comm_time + run.makespan_seconds
+
+    def test_polling_mode_defers_transfer(self, henri):
+        world = SimMPI(henri, progress=ProgressMode.POLLING)
+        req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+        assert req.handle is None  # nothing scheduled yet
+        world.wait(req)
+        assert req.done
+
+    def test_polling_slower_than_thread_with_compute(self, henri):
+        """The classic non-threaded MPI pitfall: no overlap."""
+        def run_world(mode):
+            world = SimMPI(henri, progress=mode)
+            team = ComputeTeam(
+                henri.machine,
+                henri.profile,
+                n_threads=4,
+                data_node=1,
+                kernel=memset_nt(),
+            )
+            req = world.irecv(SimBuffer(64 * MB, numa_node=0))
+            team.run(world.engine, elements_per_thread=8 * MiB)
+            world.engine.run()  # compute finishes (and transfer, if threaded)
+            world.wait(req)
+            return world.engine.now
+
+        assert run_world(ProgressMode.THREAD) < run_world(ProgressMode.POLLING)
+
+
+class TestOverlapHelper:
+    def test_overlap_contention(self, henri):
+        """The one-call benchmark step 3: same node -> comm throttled."""
+        world = SimMPI(henri)
+        run, req = world.overlap(
+            n_threads=16,
+            comp_node=0,
+            comm_buffer=SimBuffer(64 * MB, numa_node=0),
+            kernel=memset_nt(),
+            elements_per_thread=8 * MiB,
+        )
+        assert req.done
+        assert req.observed_gbps() < 12.3 * 0.9  # clearly throttled
+
+    def test_overlap_cross_placement_still_throttles_comm(self, henri):
+        """Different NUMA node does NOT shield communications: the NIC
+        shares the socket mesh with the cores' issue pressure (the
+        behaviour behind equation 6's local-model-everywhere rule)."""
+        world = SimMPI(henri)
+        _, req = world.overlap(
+            n_threads=16,
+            comp_node=0,
+            comm_buffer=SimBuffer(64 * MB, numa_node=1),
+            kernel=memset_nt(),
+            elements_per_thread=8 * MiB,
+        )
+        assert req.observed_gbps() < 0.9 * 12.3
+
+    def test_overlap_few_cores_no_contention(self, henri):
+        """Below the mesh sag onset everyone runs at nominal speed."""
+        world = SimMPI(henri)
+        run, req = world.overlap(
+            n_threads=6,
+            comp_node=0,
+            comm_buffer=SimBuffer(64 * MB, numa_node=1),
+            kernel=memset_nt(),
+            elements_per_thread=8 * MiB,
+        )
+        assert req.observed_gbps() == pytest.approx(12.3, rel=0.05)
+        assert run.total_bandwidth_gbps() == pytest.approx(6 * 6.8, rel=0.02)

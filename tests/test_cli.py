@@ -1,0 +1,172 @@
+"""CLI tests (argument parsing and command outputs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_platform_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topo", "bogus"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "henri" in out and "occigen" in out
+
+    def test_topo(self, capsys):
+        assert main(["topo", "diablo"]) == 0
+        out = capsys.readouterr().out
+        assert "Infinity Fabric" in out
+
+    def test_sweep_single_placement(self, capsys):
+        assert main(["sweep", "occigen", "--placement", "0", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "comp_alone" in out
+        assert len(out.strip().splitlines()) == 15  # header + 14 cores
+
+    def test_sweep_grid_csv_stdout(self, capsys):
+        assert main(["sweep", "occigen"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("platform,m_comp,m_comm")
+
+    def test_sweep_csv_file(self, tmp_path, capsys):
+        target = tmp_path / "curves.csv"
+        assert main(["sweep", "occigen", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert "occigen" in target.read_text()
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "occigen"]) == 0
+        out = capsys.readouterr().out
+        assert "local" in out and "remote" in out and "alpha" in out
+
+    def test_predict(self, capsys):
+        assert main(
+            ["predict", "occigen", "-n", "8", "--comp", "0", "--comm", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predicted computation bandwidth" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_figure_ascii(self, capsys):
+        assert main(["figure", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "occigen" in out
+        assert "comm_par(meas)" in out
+
+    def test_figure_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig6.csv"
+        assert main(["figure", "fig6", "--csv", str(target)]) == 0
+        assert target.read_text().startswith("m_comp,m_comm,series")
+
+    def test_figure_svg(self, tmp_path, capsys):
+        target = tmp_path / "fig6.svg"
+        assert main(["figure", "fig6", "--svg", str(target)]) == 0
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(target.read_text())
+
+    def test_fig2(self, capsys):
+        assert main(["figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Annotated points" in out
+        assert "Tpar_max" in out
+
+    def test_advise(self, capsys):
+        assert main(
+            [
+                "advise",
+                "occigen",
+                "--comp-bytes",
+                "1e9",
+                "--comm-bytes",
+                "1e8",
+                "--top",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Top 2 configurations" in out
+
+    def test_predict_error_reported(self, capsys):
+        """Out-of-range NUMA node -> clean error, exit code 1."""
+        code = main(
+            ["predict", "occigen", "-n", "2", "--comp", "9", "--comm", "0"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--output", str(target)]) == 0
+        text = target.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "pyxis" in text
+
+    def test_bottleneck(self, capsys):
+        assert main(["bottleneck", "henri", "-n", "16", "--comp", "0", "--comm", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck: ctrl:0" in out
+
+    def test_bottleneck_contention_free(self, capsys):
+        assert main(["bottleneck", "henri", "-n", "2", "--comp", "0", "--comm", "1"]) == 0
+        assert "contention-free" in capsys.readouterr().out
+
+    def test_overlap(self, capsys):
+        assert main(
+            [
+                "overlap", "occigen", "-n", "8", "--comp", "0", "--comm", "1",
+                "--comp-bytes", "1e10", "--comm-bytes", "2e9",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out and "overlapped" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "occigen"]) == 0
+        out = capsys.readouterr().out
+        assert "b_comm_seq" in out and "alpha" in out
+
+    def test_intensity(self, capsys):
+        assert main(["intensity", "occigen", "-n", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "flops/byte" in out
+        assert "comm kept" in out
+
+    def test_export_platform(self, tmp_path, capsys):
+        target = tmp_path / "henri.json"
+        assert main(["export-platform", "henri", "--output", str(target)]) == 0
+        from repro.topology import platform_from_json
+
+        restored = platform_from_json(target.read_text())
+        assert restored.name == "henri"
+
+    def test_diagnose(self, capsys):
+        assert main(["diagnose", "occigen"]) == 0
+        out = capsys.readouterr().out
+        assert "model-limits diagnosis" in out
+
+    def test_export_platform_stdout(self, capsys):
+        assert main(["export-platform", "diablo"]) == 0
+        out = capsys.readouterr().out
+        assert '"format_version"' in out
+
+    def test_check(self, capsys):
+        assert main(["--seed", "1", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "7/7 structural claims hold" in out

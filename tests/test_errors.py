@@ -1,0 +1,38 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.TopologyError,
+        errors.SimulationError,
+        errors.ArbitrationError,
+        errors.CalibrationError,
+        errors.ModelError,
+        errors.PlacementError,
+        errors.BenchmarkError,
+        errors.CommunicationError,
+        errors.AdvisorError,
+    ],
+)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_arbitration_is_simulation_error():
+    assert issubclass(errors.ArbitrationError, errors.SimulationError)
+
+
+def test_placement_is_model_error():
+    assert issubclass(errors.PlacementError, errors.ModelError)
+
+
+def test_all_exports_exist():
+    for name in errors.__all__:
+        assert hasattr(errors, name)

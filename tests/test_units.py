@@ -1,0 +1,70 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_decimal_sizes(self):
+        assert units.KB == 1_000
+        assert units.MB == 1_000_000
+        assert units.GB == 1_000_000_000
+
+    def test_binary_sizes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+    def test_mb_mib_differ(self):
+        # The classic 64 MB message is NOT 64 MiB.
+        assert 64 * units.MB != 64 * units.MiB
+
+
+class TestConversions:
+    def test_bytes_to_gb_roundtrip(self):
+        assert units.gb_to_bytes(units.bytes_to_gb(123_456_789)) == pytest.approx(
+            123_456_789
+        )
+
+    def test_gbit_to_gbyte_edr(self):
+        # EDR InfiniBand: 100 Gbit/s = 12.5 GB/s.
+        assert units.gbit_to_gbyte(100) == pytest.approx(12.5)
+
+    def test_gbps_bytes_per_s(self):
+        assert units.gbps_to_bytes_per_s(2.5) == pytest.approx(2.5e9)
+        assert units.bytes_per_s_to_gbps(2.5e9) == pytest.approx(2.5)
+
+
+class TestBandwidth:
+    def test_bandwidth_basic(self):
+        # 64 MB in 5.2 ms is about 12.3 GB/s.
+        assert units.bandwidth(64 * units.MB, 64e6 / 12.3e9) == pytest.approx(12.3)
+
+    def test_bandwidth_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            units.bandwidth(100, 0.0)
+
+    def test_bandwidth_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.bandwidth(100, -1.0)
+
+    def test_transfer_time_inverse_of_bandwidth(self):
+        t = units.transfer_time(64 * units.MB, 12.3)
+        assert units.bandwidth(64 * units.MB, t) == pytest.approx(12.3)
+
+    def test_transfer_time_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            units.transfer_time(100, 0.0)
+
+
+class TestFormatting:
+    def test_fmt_bandwidth(self):
+        assert units.fmt_bandwidth(12.345) == "12.35 GB/s"
+        assert units.fmt_bandwidth(12.345, precision=1) == "12.3 GB/s"
+
+    def test_fmt_bytes_scales(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(64 * units.MiB) == "64.0 MiB"
+        assert units.fmt_bytes(3 * units.GiB) == "3.0 GiB"
+        assert units.fmt_bytes(2 * units.KiB) == "2.0 KiB"

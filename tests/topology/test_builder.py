@@ -1,0 +1,115 @@
+"""Unit tests for MachineBuilder."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import MachineBuilder, validate_machine
+from repro.units import GiB
+
+
+def _base() -> MachineBuilder:
+    return (
+        MachineBuilder("toy")
+        .processor("Toy CPU", cores_per_socket=4, sockets=2)
+        .numa(nodes_per_socket=2, memory_bytes=GiB, controller_gbps=40.0)
+        .interconnect(gbps=20.0, name="IF")
+        .network("toy-ib", line_rate_gbps=10.0, pcie_gbps=11.0)
+    )
+
+
+class TestHappyPath:
+    def test_builds_valid_machine(self):
+        machine = _base().build()
+        validate_machine(machine)
+        assert machine.n_cores == 8
+        assert machine.n_numa_nodes == 4
+        assert machine.links[0].name == "IF"
+
+    def test_nic_defaults_to_first_node_of_its_socket(self):
+        machine = (
+            _base().network("n", line_rate_gbps=10.0, pcie_gbps=11.0, socket=1).build()
+        )
+        assert machine.nic.socket == 1
+        assert machine.nic.numa == 2  # first node of socket 1
+
+    def test_explicit_nic_numa(self):
+        machine = (
+            _base()
+            .network("n", line_rate_gbps=10.0, pcie_gbps=11.0, socket=1, numa=3)
+            .build()
+        )
+        assert machine.nic.numa == 3
+
+    def test_single_socket_needs_no_link(self):
+        machine = (
+            MachineBuilder("uni")
+            .processor("cpu", cores_per_socket=2, sockets=1)
+            .numa(nodes_per_socket=1, memory_bytes=GiB, controller_gbps=10.0)
+            .network("n", line_rate_gbps=5.0, pcie_gbps=6.0)
+            .build()
+        )
+        assert machine.links == ()
+
+    def test_metadata_recorded(self):
+        machine = _base().meta(processor="X", network="Y").build()
+        assert machine.metadata["processor"] == "X"
+
+    def test_caches_attached_to_every_socket(self):
+        machine = _base().cache(level=3, size_bytes=1 << 20, shared_by=4).build()
+        assert all(len(s.caches) == 1 for s in machine.sockets)
+
+
+class TestErrors:
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            MachineBuilder("")
+
+    def test_missing_processor(self):
+        builder = MachineBuilder("x").numa(
+            nodes_per_socket=1, memory_bytes=GiB, controller_gbps=10.0
+        )
+        builder.network("n", line_rate_gbps=5.0, pcie_gbps=6.0)
+        with pytest.raises(TopologyError, match="processor"):
+            builder.build()
+
+    def test_missing_numa(self):
+        builder = MachineBuilder("x").processor("cpu", cores_per_socket=2)
+        builder.network("n", line_rate_gbps=5.0, pcie_gbps=6.0)
+        with pytest.raises(TopologyError, match="numa"):
+            builder.build()
+
+    def test_missing_network(self):
+        builder = (
+            MachineBuilder("x")
+            .processor("cpu", cores_per_socket=2)
+            .numa(nodes_per_socket=1, memory_bytes=GiB, controller_gbps=10.0)
+            .interconnect(gbps=10.0)
+        )
+        with pytest.raises(TopologyError, match="network"):
+            builder.build()
+
+    def test_multi_socket_requires_interconnect(self):
+        builder = (
+            MachineBuilder("x")
+            .processor("cpu", cores_per_socket=2, sockets=2)
+            .numa(nodes_per_socket=1, memory_bytes=GiB, controller_gbps=10.0)
+            .network("n", line_rate_gbps=5.0, pcie_gbps=6.0)
+        )
+        with pytest.raises(TopologyError, match="interconnect"):
+            builder.build()
+
+    def test_nic_socket_out_of_range(self):
+        builder = _base().network("n", line_rate_gbps=5.0, pcie_gbps=6.0, socket=7)
+        with pytest.raises(TopologyError, match="out of range"):
+            builder.build()
+
+    def test_nic_numa_on_wrong_socket(self):
+        builder = _base().network(
+            "n", line_rate_gbps=5.0, pcie_gbps=6.0, socket=0, numa=3
+        )
+        with pytest.raises(TopologyError, match="not on its socket"):
+            builder.build()
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(TopologyError):
+            MachineBuilder("x").processor("cpu", cores_per_socket=0)

@@ -1,0 +1,48 @@
+"""NUMA distance matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.topology import distance_matrix, get_platform
+from repro.topology.distances import (
+    LOCAL_DISTANCE,
+    REMOTE_DISTANCE,
+    SIBLING_DISTANCE,
+)
+
+
+class TestTwoNodeMachine:
+    def test_matrix_shape_and_values(self, henri):
+        m = distance_matrix(henri.machine)
+        assert m.shape == (2, 2)
+        assert m[0, 0] == m[1, 1] == LOCAL_DISTANCE
+        assert m[0, 1] == m[1, 0] == REMOTE_DISTANCE
+
+    def test_symmetric(self, henri):
+        m = distance_matrix(henri.machine)
+        assert np.array_equal(m, m.T)
+
+
+class TestSubNuma:
+    def test_sibling_distance(self, henri_subnuma):
+        m = distance_matrix(henri_subnuma.machine)
+        assert m.shape == (4, 4)
+        # nodes 0,1 on socket 0; 2,3 on socket 1.
+        assert m[0, 1] == SIBLING_DISTANCE
+        assert m[2, 3] == SIBLING_DISTANCE
+        assert m[0, 2] == REMOTE_DISTANCE
+        assert np.all(np.diag(m) == LOCAL_DISTANCE)
+
+    def test_block_structure(self, henri_subnuma):
+        m = distance_matrix(henri_subnuma.machine)
+        local_block = m[:2, :2]
+        assert np.all(local_block <= SIBLING_DISTANCE)
+        assert np.all(m[:2, 2:] == REMOTE_DISTANCE)
+
+
+@pytest.mark.parametrize("name", ["henri", "diablo", "occigen"])
+def test_distance_ordering(name):
+    m = distance_matrix(get_platform(name).machine)
+    assert LOCAL_DISTANCE < SIBLING_DISTANCE < REMOTE_DISTANCE
+    assert m.min() == LOCAL_DISTANCE
+    assert m.max() == REMOTE_DISTANCE

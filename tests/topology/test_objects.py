@@ -1,0 +1,135 @@
+"""Unit tests for the topology object tree."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.objects import Cache, Core, Link, Machine, Nic, NumaNode, Socket
+from repro.units import GiB
+
+
+def _socket(index: int, n_cores: int = 2, n_nodes: int = 1) -> Socket:
+    cores = tuple(Core(index=index * n_cores + c, socket=index) for c in range(n_cores))
+    nodes = tuple(
+        NumaNode(
+            index=index * n_nodes + m,
+            socket=index,
+            memory_bytes=GiB,
+            controller_gbps=50.0,
+        )
+        for m in range(n_nodes)
+    )
+    return Socket(index=index, name="cpu", cores=cores, numa_nodes=nodes)
+
+
+def _machine(n_nodes: int = 1) -> Machine:
+    return Machine(
+        name="toy",
+        sockets=(_socket(0, n_nodes=n_nodes), _socket(1, n_nodes=n_nodes)),
+        links=(Link(socket_a=0, socket_b=1, gbps=20.0),),
+        nic=Nic(name="nic", socket=0, numa=0, line_rate_gbps=10.0, pcie_gbps=12.0),
+    )
+
+
+class TestLeafValidation:
+    def test_cache_rejects_level_zero(self):
+        with pytest.raises(TopologyError):
+            Cache(level=0, size_bytes=1024, shared_by=1)
+
+    def test_cache_rejects_empty_sharing(self):
+        with pytest.raises(TopologyError):
+            Cache(level=3, size_bytes=1024, shared_by=0)
+
+    def test_core_rejects_negative_index(self):
+        with pytest.raises(TopologyError):
+            Core(index=-1, socket=0)
+
+    def test_numa_rejects_zero_bandwidth(self):
+        with pytest.raises(TopologyError):
+            NumaNode(index=0, socket=0, memory_bytes=GiB, controller_gbps=0.0)
+
+    def test_numa_rejects_zero_memory(self):
+        with pytest.raises(TopologyError):
+            NumaNode(index=0, socket=0, memory_bytes=0, controller_gbps=10.0)
+
+    def test_link_rejects_self_loop(self):
+        with pytest.raises(TopologyError):
+            Link(socket_a=1, socket_b=1, gbps=10.0)
+
+    def test_link_connects(self):
+        link = Link(socket_a=0, socket_b=1, gbps=10.0)
+        assert link.connects(1, 0)
+        assert not link.connects(0, 2)
+
+    def test_nic_rejects_zero_rates(self):
+        with pytest.raises(TopologyError):
+            Nic(name="n", socket=0, numa=0, line_rate_gbps=0.0, pcie_gbps=1.0)
+
+
+class TestSocketValidation:
+    def test_socket_requires_cores(self):
+        with pytest.raises(TopologyError, match="no cores"):
+            Socket(index=0, name="x", cores=(), numa_nodes=(_socket(0).numa_nodes))
+
+    def test_socket_rejects_foreign_core(self):
+        core = Core(index=0, socket=1)
+        node = NumaNode(index=0, socket=0, memory_bytes=GiB, controller_gbps=10.0)
+        with pytest.raises(TopologyError, match="claims socket"):
+            Socket(index=0, name="x", cores=(core,), numa_nodes=(node,))
+
+
+class TestMachineQueries:
+    def test_counts(self):
+        m = _machine(n_nodes=2)
+        assert m.n_sockets == 2
+        assert m.cores_per_socket == 2
+        assert m.nodes_per_socket == 2
+        assert m.n_numa_nodes == 4
+        assert m.n_cores == 4
+
+    def test_numa_node_lookup(self):
+        m = _machine()
+        assert m.numa_node(1).socket == 1
+        with pytest.raises(TopologyError, match="no NUMA node 7"):
+            m.numa_node(7)
+
+    def test_core_lookup(self):
+        m = _machine()
+        assert m.core(3).socket == 1
+        with pytest.raises(TopologyError, match="no core"):
+            m.core(99)
+
+    def test_local_and_remote_nodes(self):
+        m = _machine(n_nodes=2)
+        assert m.local_nodes(0) == (0, 1)
+        assert m.remote_nodes(0) == (2, 3)
+
+    def test_is_local_access(self):
+        m = _machine()
+        assert m.is_local_access(core_index=0, numa_index=0)
+        assert not m.is_local_access(core_index=0, numa_index=1)
+
+    def test_link_between(self):
+        m = _machine()
+        assert m.link_between(1, 0).gbps == 20.0
+        with pytest.raises(TopologyError, match="no link"):
+            m.link_between(0, 2)
+
+    def test_placements_grid(self):
+        m = _machine(n_nodes=2)
+        grid = m.placements()
+        assert len(grid) == 16
+        assert (0, 0) in grid and (3, 2) in grid
+
+    def test_total_memory(self):
+        assert _machine(n_nodes=2).total_memory_bytes() == 4 * GiB
+
+    def test_rejects_heterogeneous_node_counts(self):
+        with pytest.raises(TopologyError, match="same number of NUMA nodes"):
+            Machine(
+                name="bad",
+                sockets=(_socket(0, n_nodes=1), _socket(1, n_nodes=2)),
+                links=(Link(socket_a=0, socket_b=1, gbps=20.0),),
+                nic=Nic(
+                    name="nic", socket=0, numa=0, line_rate_gbps=10.0, pcie_gbps=12.0
+                ),
+            )

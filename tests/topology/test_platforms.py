@@ -1,0 +1,109 @@
+"""The six Table I platforms: structure and published characteristics."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import PLATFORMS, get_platform, platform_names, validate_machine
+
+
+class TestRegistry:
+    def test_six_platforms_in_table_order(self):
+        assert platform_names() == (
+            "henri",
+            "henri-subnuma",
+            "dahu",
+            "diablo",
+            "pyxis",
+            "occigen",
+        )
+
+    def test_unknown_platform_lists_names(self):
+        with pytest.raises(TopologyError, match="henri"):
+            get_platform("nonexistent")
+
+    @pytest.mark.parametrize("name", list(PLATFORMS))
+    def test_all_platforms_validate(self, name):
+        platform = get_platform(name)
+        validate_machine(platform.machine)
+
+    @pytest.mark.parametrize("name", list(PLATFORMS))
+    def test_factories_return_fresh_instances(self, name):
+        assert get_platform(name) is not get_platform(name)
+
+
+class TestTableICharacteristics:
+    """Core counts, NUMA layout and network per the paper's Table I."""
+
+    @pytest.mark.parametrize(
+        "name,cores,nodes",
+        [
+            ("henri", 18, 2),
+            ("henri-subnuma", 18, 4),
+            ("dahu", 16, 2),
+            ("diablo", 32, 2),
+            ("pyxis", 32, 2),
+            ("occigen", 14, 2),
+        ],
+    )
+    def test_core_and_numa_counts(self, name, cores, nodes):
+        platform = get_platform(name)
+        assert platform.cores_per_socket == cores
+        assert platform.machine.n_numa_nodes == nodes
+        assert platform.machine.n_sockets == 2
+
+    def test_dahu_is_omnipath_everyone_else_infiniband(self):
+        for name in platform_names():
+            network = get_platform(name).machine.metadata["network"]
+            if name == "dahu":
+                assert network == "OMNI-PATH"
+            else:
+                assert network == "INFINIBAND"
+
+    def test_henri_variants_share_silicon(self):
+        base = get_platform("henri")
+        sub = get_platform("henri-subnuma")
+        assert base.machine.sockets[0].name == sub.machine.sockets[0].name
+        assert base.cores_per_socket == sub.cores_per_socket
+        # Same total memory, split over twice the nodes.
+        assert base.machine.total_memory_bytes() == sub.machine.total_memory_bytes()
+        assert sub.nodes_per_socket == 2 * base.nodes_per_socket
+
+    def test_diablo_nic_on_second_socket(self):
+        """Figure 5: the NIC is plugged to the second NUMA node."""
+        diablo = get_platform("diablo")
+        assert diablo.machine.nic.socket == 1
+        assert diablo.machine.nic.numa == 1
+
+    def test_diablo_nic_locality_asymmetry(self):
+        """12.1 GB/s to node 0 vs 22.4 GB/s to node 1 (§IV-B c)."""
+        profile = get_platform("diablo").profile
+        line = get_platform("diablo").machine.nic.line_rate_gbps
+        assert profile.nic_nominal_gbps(0, line) == pytest.approx(12.1)
+        assert profile.nic_nominal_gbps(1, line) == pytest.approx(22.4)
+
+    def test_occigen_never_throttles_communications(self):
+        """§IV-B d: only computations are impacted on occigen."""
+        assert get_platform("occigen").profile.nic_min_fraction == 1.0
+
+    def test_pyxis_is_the_noisy_one(self):
+        profiles = {name: get_platform(name).profile for name in platform_names()}
+        pyxis_sigma = profiles["pyxis"].comm_noise_sigma
+        assert all(
+            pyxis_sigma >= p.comm_noise_sigma for p in profiles.values()
+        )
+        assert profiles["pyxis"].nic_cross_penalty > 0.0
+
+    def test_pyxis_has_soft_saturation(self):
+        profiles = {name: get_platform(name).profile for name in platform_names()}
+        assert profiles["pyxis"].saturation_sharpness == min(
+            p.saturation_sharpness for p in profiles.values()
+        )
+
+
+class TestSampleNodes:
+    @pytest.mark.parametrize("name", list(PLATFORMS))
+    def test_sample_nodes_per_paper(self, name):
+        platform = get_platform(name)
+        assert platform.sample_local_node() == 0
+        # First node of the second socket.
+        assert platform.sample_remote_node() == platform.nodes_per_socket

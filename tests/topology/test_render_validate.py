@@ -1,0 +1,82 @@
+"""Rendering and global validation tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import get_platform, render_text, validate_machine
+from repro.topology.objects import Core, Machine, Nic, Socket
+
+
+class TestRender:
+    def test_render_mentions_all_parts(self, henri):
+        text = render_text(henri.machine)
+        assert "henri" in text
+        assert "Socket #0" in text and "Socket #1" in text
+        assert "NUMANode #0" in text
+        assert "UPI" in text
+        assert "InfiniBand EDR" in text
+        assert "<- NIC" in text
+
+    def test_render_marks_nic_node_once(self, henri_subnuma):
+        text = render_text(henri_subnuma.machine)
+        assert text.count("<- NIC") == 1
+
+    def test_render_is_multiline(self, diablo):
+        assert len(render_text(diablo.machine).splitlines()) > 8
+
+
+class TestValidate:
+    def test_all_platforms_pass(self):
+        for name in ("henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen"):
+            validate_machine(get_platform(name).machine)
+
+    def test_returns_machine_for_chaining(self, henri):
+        assert validate_machine(henri.machine) is henri.machine
+
+    def test_rejects_noncontiguous_core_indices(self, henri):
+        machine = henri.machine
+        bad_socket0 = dataclasses.replace(
+            machine.sockets[0],
+            cores=tuple(
+                Core(index=c.index + 1, socket=0) if c.index == 0 else c
+                for c in machine.sockets[0].cores
+            ),
+        )
+        bad = Machine(
+            name=machine.name,
+            sockets=(bad_socket0, machine.sockets[1]),
+            links=machine.links,
+            nic=machine.nic,
+        )
+        with pytest.raises(TopologyError, match="contiguous"):
+            validate_machine(bad)
+
+    def test_rejects_nic_numa_socket_mismatch(self, henri):
+        machine = henri.machine
+        bad = Machine(
+            name=machine.name,
+            sockets=machine.sockets,
+            links=machine.links,
+            nic=Nic(
+                name="bad",
+                socket=0,
+                numa=1,  # node 1 lives on socket 1
+                line_rate_gbps=10.0,
+                pcie_gbps=11.0,
+            ),
+        )
+        with pytest.raises(TopologyError, match="NIC"):
+            validate_machine(bad)
+
+    def test_rejects_missing_link(self, henri):
+        machine = henri.machine
+        bad = Machine(
+            name=machine.name,
+            sockets=machine.sockets,
+            links=(),
+            nic=machine.nic,
+        )
+        with pytest.raises(TopologyError, match="no link"):
+            validate_machine(bad)
