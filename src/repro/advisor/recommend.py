@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.evaluation import as_core_counts
 from repro.core.placement import PlacementModel
 from repro.errors import AdvisorError
 from repro.topology.objects import Machine
@@ -116,22 +119,77 @@ class Advisor:
         top: int = 5,
         core_counts: list[int] | None = None,
     ) -> list[Recommendation]:
-        """Enumerate and rank configurations; return the ``top`` best."""
+        """Enumerate and rank configurations; return the ``top`` best.
+
+        The whole grid is scored through the vectorized evaluation
+        layer: one :meth:`PlacementModel.predict` per placement, array
+        arithmetic for the makespans.
+        """
         if top < 1:
             raise AdvisorError(f"top must be >= 1, got {top}")
         if core_counts is None:
             core_counts = list(range(1, self._machine.cores_per_socket + 1))
         if not core_counts:
             raise AdvisorError("core_counts must be non-empty")
+        ns = as_core_counts(core_counts, error=AdvisorError)
+        if ns.min() < 1 or ns.max() > self._machine.cores_per_socket:
+            bad = int(ns[(ns < 1) | (ns > self._machine.cores_per_socket)][0])
+            raise AdvisorError(
+                f"n={bad} outside 1..{self._machine.cores_per_socket} "
+                "(the model covers one socket's cores only, §II-B)"
+            )
         nodes = [node.index for node in self._machine.iter_numa_nodes()]
-        scored = [
-            self.score(workload, n, m_comp, m_comm)
-            for n in core_counts
-            for m_comp in nodes
-            for m_comm in nodes
-        ]
+
+        scored: list[Recommendation] = []
+        per_placement = {}
+        for m_comp in nodes:
+            for m_comm in nodes:
+                pred = self._model.predict(ns, m_comp, m_comm)
+                comp = pred.comp_parallel
+                comm = pred.comm_parallel
+                times = np.full(ns.shape, -np.inf)
+                if workload.comp_bytes > 0:
+                    self._require_positive(
+                        comp, "computation", ns, m_comp, m_comm
+                    )
+                    times = np.maximum(
+                        times, workload.comp_bytes / (comp * 1e9)
+                    )
+                if workload.comm_bytes > 0:
+                    self._require_positive(
+                        comm, "communication", ns, m_comp, m_comm
+                    )
+                    times = np.maximum(
+                        times, workload.comm_bytes / (comm * 1e9)
+                    )
+                per_placement[(m_comp, m_comm)] = (comp, comm, times)
+        for i, n in enumerate(ns):
+            for m_comp in nodes:
+                for m_comm in nodes:
+                    comp, comm, times = per_placement[(m_comp, m_comm)]
+                    scored.append(
+                        Recommendation(
+                            n_cores=int(n),
+                            m_comp=m_comp,
+                            m_comm=m_comm,
+                            makespan_s=float(times[i]),
+                            comp_gbps=float(comp[i]),
+                            comm_gbps=float(comm[i]),
+                        )
+                    )
         scored.sort(key=lambda r: (r.makespan_s, r.n_cores))
         return scored[:top]
+
+    @staticmethod
+    def _require_positive(
+        gbps: np.ndarray, kind: str, ns: np.ndarray, m_comp: int, m_comm: int
+    ) -> None:
+        if np.any(gbps <= 0):
+            n = int(ns[np.nonzero(gbps <= 0)[0][0]])
+            raise AdvisorError(
+                f"model predicts zero {kind} bandwidth for "
+                f"(n={n}, m_comp={m_comp}, m_comm={m_comm})"
+            )
 
     def best(self, workload: Workload) -> Recommendation:
         """Shortcut: the single best configuration."""

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.bench.config import SweepConfig
 from repro.bench.results import ModeCurves
+from repro.core.evaluation import as_core_counts
 from repro.errors import BenchmarkError
 from repro.memsim.arbiter import Arbiter
 from repro.memsim.engine import Engine
@@ -72,12 +73,10 @@ def measure_curves(
     """Measure the four bandwidth curves for one placement (steady state)."""
     config = config or SweepConfig()
     ns = (
-        np.asarray(core_counts, dtype=int)
+        as_core_counts(core_counts, error=BenchmarkError)
         if core_counts is not None
         else default_core_counts(machine)
     )
-    if ns.size == 0:
-        raise BenchmarkError("core_counts must be non-empty")
 
     resource_map = build_resources(machine, profile)
     arbiter = Arbiter(resource_map, profile)
@@ -182,10 +181,16 @@ def _engine_parallel(
     max_messages = 10_000
     while not all(f.done for f in comp_flows):
         completed = engine.step()
-        if engine.active_count == 0 and not any(
-            not f.done for f in comp_flows
-        ):
-            break
+        if engine.active_count == 0 and not all(f.done for f in comp_flows):
+            # The engine has nothing left to simulate (no active and no
+            # pending flows) while a computation flow still holds bytes:
+            # without this guard the loop would spin on no-op steps
+            # forever.
+            raise BenchmarkError(
+                "engine went idle with unfinished computation flows "
+                f"(n={n}, m_comp={m_comp}, m_comm={m_comm}); the "
+                "simulation cannot make progress"
+            )
         if any(f.stream.stream_id == "nic" and f.done for f in completed):
             if len(message_flows) >= max_messages:
                 raise BenchmarkError(
@@ -221,12 +226,10 @@ def measure_curves_engine(
     """Measure the four curves by replaying transfers on the fluid engine."""
     config = config or SweepConfig()
     ns = (
-        np.asarray(core_counts, dtype=int)
+        as_core_counts(core_counts, error=BenchmarkError)
         if core_counts is not None
         else default_core_counts(machine)
     )
-    if ns.size == 0:
-        raise BenchmarkError("core_counts must be non-empty")
     noise = None if config.noiseless else NoiseModel(config.seed)
 
     comp_alone = np.empty(ns.size)

@@ -13,6 +13,8 @@ from typing import Callable, Sequence
 from repro.bench.config import SweepConfig
 from repro.bench.results import ModeCurves, PlacementKey, PlacementSweep, PlatformDataset
 from repro.bench.runner import measure_curves, measure_curves_engine
+from repro.core.evaluation import as_core_counts
+from repro.errors import BenchmarkError
 from repro.topology.platforms import Platform
 
 __all__ = ["run_placement_grid", "run_sample_sweeps", "sample_placements"]
@@ -42,6 +44,9 @@ def run_sample_sweeps(
 ) -> PlatformDataset:
     """Measure only the two calibration placements."""
     config = config or SweepConfig()
+    if core_counts is not None:
+        # Validate once here instead of once per placement in the runner.
+        core_counts = as_core_counts(core_counts, error=BenchmarkError)
     run = _runner(config)
     curves = {}
     for key in sample_placements(platform):
@@ -68,6 +73,8 @@ def run_placement_grid(
 ) -> PlatformDataset:
     """Measure every ``(m_comp, m_comm)`` placement combination."""
     config = config or SweepConfig()
+    if core_counts is not None:
+        core_counts = as_core_counts(core_counts, error=BenchmarkError)
     run = _runner(config)
     curves = {}
     for m_comp, m_comm in platform.machine.placements():

@@ -3,6 +3,10 @@
 * :mod:`repro.core.parameters` — the model's parameter set (§III-A);
 * :mod:`repro.core.model` — a single model instantiation: equations
   1–5 and 8 (§III-B);
+* :mod:`repro.core.evaluation` — the vectorized, memoized evaluation
+  layer every consumer goes through;
+* :mod:`repro.core.oracle` — the scalar reference implementation the
+  vectorized layer is tested against;
 * :mod:`repro.core.calibration` — extracting parameters from benchmark
   curves (§IV-A2);
 * :mod:`repro.core.placement` — combining the local and remote
@@ -12,8 +16,15 @@
 """
 
 from repro.core.calibration import calibrate, calibrate_placement_model
+from repro.core.evaluation import (
+    ModelEvaluator,
+    as_core_counts,
+    evaluator_for,
+    sweep_curves,
+)
 from repro.core.fitting import fit_quality, refine_parameters
 from repro.core.model import ContentionModel
+from repro.core.oracle import ScalarOracle
 from repro.core.parameters import ModelParameters
 from repro.core.placement import PlacementModel, PlacementPrediction
 from repro.core.sensitivity import SensitivityResult, parameter_sensitivity
@@ -21,15 +32,20 @@ from repro.core.stacked import StackedView, stacked_view
 
 __all__ = [
     "ContentionModel",
+    "ModelEvaluator",
     "ModelParameters",
     "PlacementModel",
     "PlacementPrediction",
+    "ScalarOracle",
     "StackedView",
     "SensitivityResult",
+    "as_core_counts",
     "calibrate",
     "calibrate_placement_model",
+    "evaluator_for",
     "fit_quality",
     "parameter_sensitivity",
     "refine_parameters",
     "stacked_view",
+    "sweep_curves",
 ]

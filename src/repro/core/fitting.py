@@ -23,7 +23,7 @@ from scipy.optimize import minimize
 
 from repro.bench.results import ModeCurves
 from repro.core.calibration import calibrate
-from repro.core.model import ContentionModel
+from repro.core.evaluation import sweep_curves
 from repro.core.parameters import ModelParameters
 from repro.errors import CalibrationError
 
@@ -35,11 +35,11 @@ def fit_quality(params: ModelParameters, curves: ModeCurves) -> float:
 
     Averages the relative error of the three predicted curves
     (comm/comp in parallel, comp alone) — the quantity the refinement
-    minimises.
+    minimises.  Goes through the vectorized evaluation layer: this runs
+    inside the optimiser's objective, thousands of times per refinement.
     """
-    model = ContentionModel(params)
     ns = curves.core_counts
-    swept = model.sweep(ns)
+    swept = sweep_curves(params, ns)
     total = 0.0
     for predicted, measured in (
         (swept["comm_par"], curves.comm_parallel),

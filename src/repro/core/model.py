@@ -15,14 +15,24 @@ behaviour the paper itself flags as imperfect (e.g. the split "more in
 favour of computations as in reality" before the threshold): the whole
 point of the evaluation is to measure those imperfections against the
 simulated ground truth.
+
+Since the vectorized-evaluation PR, all values are served by the
+memoized array layer (:mod:`repro.core.evaluation`): scalar queries are
+O(1) table lookups after the first call (the saturation-frontier scan
+runs once per parameter set, not once per ``alpha_factor`` call), and
+:meth:`ContentionModel.sweep` is pure array indexing.  The one-``n``-
+at-a-time reference implementation lives on as
+:class:`repro.core.oracle.ScalarOracle`, which the tests hold this
+class bit-for-bit equal to.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.core.evaluation import as_core_counts, evaluator_for
 from repro.core.parameters import ModelParameters
+from repro.errors import ModelError
 
 __all__ = ["ContentionModel"]
 
@@ -32,6 +42,7 @@ class ContentionModel:
 
     def __init__(self, params: ModelParameters) -> None:
         self._p = params
+        self._eval = evaluator_for(params)
 
     @property
     def params(self) -> ModelParameters:
@@ -46,20 +57,8 @@ class ContentionModel:
         zero: far beyond the measured range the declining branch would
         otherwise predict negative bandwidth, which is meaningless.
         """
-        p = self._p
         self._check_n(n)
-        if n <= p.n_par_max:
-            return p.t_par_max
-        if n == p.n_seq_max:
-            # T(N_seq_max) *is* the parameter T_par_max2 by definition;
-            # evaluating the delta-l branch here would only reproduce it
-            # up to floating-point round-off.
-            value = p.t_par_max2
-        elif n < p.n_seq_max:
-            value = p.t_par_max - p.delta_l * (n - p.n_par_max)
-        else:
-            value = p.t_par_max2 - p.delta_r * (n - p.n_seq_max)
-        return max(value, 0.0)
+        return self._eval.scalar("total", int(n))
 
     # ---- equation 2 -----------------------------------------------------------
 
@@ -84,75 +83,34 @@ class ContentionModel:
 
         Interpolates linearly between the last unsaturated core count
         ``i`` (where communications still fit) and ``n_seq_max`` (where
-        they are down to the guaranteed minimum ``α``).
+        they are down to the guaranteed minimum ``α``).  ``i`` is cached
+        on the parameter set, so repeated queries do not re-scan.
         """
-        p = self._p
         self._check_n(n)
-        if not (p.n_seq_max - p.n_par_max > 1 and n < p.n_seq_max):
-            return p.alpha
-        i = self._last_unsaturated()
-        if i is None or i >= p.n_seq_max:
-            return p.alpha
-        # Communication share at i cores, from the unsaturated branch of Eq. 4.
-        comm_at_i = min(
-            self.total_bandwidth(i) - i * p.b_comp_seq if i > 0 else p.b_comm_seq,
-            p.b_comm_seq,
-        )
-        ratio_i = comm_at_i / p.b_comm_seq
-        slope = (ratio_i - p.alpha) / (p.n_seq_max - i)
-        factor = ratio_i - slope * (n - i)
-        # Equation 5 is only defined where R(n) >= T(n); clamp so that
-        # out-of-domain evaluations (n below the last unsaturated point)
-        # cannot extrapolate past the physical bounds.
-        return float(min(max(factor, p.alpha), 1.0))
+        return self._eval.alpha_scalar(int(n))
 
     def _last_unsaturated(self) -> int | None:
-        """``i = max{j | R(j) < T(j)}`` over 0..n_seq_max, or None."""
-        p = self._p
-        for j in range(p.n_seq_max, -1, -1):
-            if j == 0:
-                # Zero computing cores always fit (communications alone).
-                return 0
-            if self.requested_bandwidth(j) < self.total_bandwidth(j):
-                return j
-        return None
+        """``i = max{j | R(j) < T(j)}`` over 0..n_seq_max (cached)."""
+        return self._eval.last_unsaturated
 
     # ---- equations 3 and 4 ------------------------------------------------------
 
     def comp_parallel(self, n: int) -> float:
         """``B_comp_par(n)`` — computation bandwidth under overlap (Eq. 3)."""
-        p = self._p
         self._check_n(n)
-        if n == 0:
-            return 0.0
-        if not self.saturated(n):
-            return n * p.b_comp_seq
-        return self.total_bandwidth(n) - self.comm_parallel(n)
+        return self._eval.scalar("comp_par", int(n))
 
     def comm_parallel(self, n: int) -> float:
         """``B_comm_par(n)`` — communication bandwidth under overlap (Eq. 4)."""
-        p = self._p
         self._check_n(n)
-        if n == 0:
-            return p.b_comm_seq
-        if not self.saturated(n):
-            return min(
-                self.total_bandwidth(n) - n * p.b_comp_seq, p.b_comm_seq
-            )
-        # Guarded by T(n): if the total capacity collapses below the
-        # guaranteed share (degenerate parameters far past the measured
-        # range), communications get everything there is.
-        return min(self.alpha_factor(n) * p.b_comm_seq, self.total_bandwidth(n))
+        return self._eval.scalar("comm_par", int(n))
 
     # ---- equation 8 -----------------------------------------------------------
 
     def comp_alone(self, n: int) -> float:
         """``B_comp_seq(n)`` — computation bandwidth without communications (Eq. 8)."""
-        p = self._p
         self._check_n(n)
-        if n == 0:
-            return 0.0
-        return min(n * p.b_comp_seq, self.total_bandwidth(n), p.t_seq_max)
+        return self._eval.scalar("comp_alone", int(n))
 
     def comm_alone(self) -> float:
         """Communication bandwidth without computations (the ``B_comm_seq`` parameter)."""
@@ -165,17 +123,12 @@ class ContentionModel:
 
         Returns arrays keyed ``total``, ``comp_par``, ``comm_par``,
         ``comp_alone`` — the four series of one subplot in the paper's
-        figures.
+        figures.  Core counts must be integral (integral floats are
+        accepted); non-integral values raise :class:`ModelError` rather
+        than being truncated.
         """
-        ns = np.asarray(core_counts, dtype=int)
-        if ns.ndim != 1 or ns.size == 0:
-            raise ModelError("core_counts must be a non-empty 1-D sequence")
-        return {
-            "total": np.array([self.total_bandwidth(int(n)) for n in ns]),
-            "comp_par": np.array([self.comp_parallel(int(n)) for n in ns]),
-            "comm_par": np.array([self.comm_parallel(int(n)) for n in ns]),
-            "comp_alone": np.array([self.comp_alone(int(n)) for n in ns]),
-        }
+        ns = as_core_counts(core_counts, error=ModelError)
+        return self._eval.sweep(ns)
 
     # ---- helpers --------------------------------------------------------------
 

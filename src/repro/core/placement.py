@@ -10,15 +10,22 @@ Index convention: NUMA nodes are numbered socket-major, computing cores
 sit on socket 0, so a node ``m < #m`` (``nodes_per_socket``) is local
 and ``m >= #m`` is remote — exactly the comparisons written in the
 paper's equations.
+
+The selection rules depend only on the placement, never on ``n``: once
+the instantiation is chosen, a whole core-count sweep is one array
+lookup in the memoized evaluation layer.  :meth:`PlacementModel.predict`
+exploits that, and :meth:`PlacementModel.predict_grid` batches it over
+every placement of a machine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.evaluation import ModelEvaluator, as_core_counts, evaluator_for
 from repro.core.model import ContentionModel
 from repro.core.parameters import ModelParameters
 from repro.errors import PlacementError
@@ -85,12 +92,24 @@ class PlacementModel:
         """The paper's ``#m``."""
         return self._nodes_per_socket
 
+    @property
+    def n_numa_nodes(self) -> int:
+        return self._n_numa_nodes
+
     def is_remote(self, m: int) -> bool:
         """``m >= #m`` — the comparison used by equations 6 and 7."""
         self._check_node(m)
         return m >= self._nodes_per_socket
 
     # ---- equation 6 ------------------------------------------------------------
+
+    def _comm_evaluator(self, m_comp: int, m_comm: int) -> ModelEvaluator:
+        """The instantiation equation 6 selects for one placement."""
+        if self.is_remote(m_comp) and m_comp == m_comm:
+            return evaluator_for(self._remote.params)
+        if self.is_remote(m_comm):
+            return evaluator_for(self._local_remote_nominal.params)
+        return evaluator_for(self._local.params)
 
     def comm_parallel(self, n: int, m_comp: int, m_comm: int) -> float:
         """``B_comm_par(n, m_comp, m_comm)`` (Eq. 6)."""
@@ -103,6 +122,12 @@ class PlacementModel:
         return self._local.comm_parallel(n)
 
     # ---- equation 7 ------------------------------------------------------------
+
+    def _comp_selection(self, m_comp: int, m_comm: int) -> tuple[ModelEvaluator, str]:
+        """Equation 7: which instantiation, and which of its curves."""
+        model = self._remote if self.is_remote(m_comp) else self._local
+        curve = "comp_par" if m_comp == m_comm else "comp_alone"
+        return evaluator_for(model.params), curve
 
     def comp_parallel(self, n: int, m_comp: int, m_comm: int) -> float:
         """``B_comp_par(n, m_comp, m_comm)`` (Eq. 7)."""
@@ -140,23 +165,48 @@ class PlacementModel:
         m_comp: int,
         m_comm: int,
     ) -> PlacementPrediction:
-        """Predict all curves of one placement over ``core_counts``."""
-        ns = np.asarray(core_counts, dtype=int)
-        if ns.ndim != 1 or ns.size == 0:
-            raise PlacementError("core_counts must be a non-empty 1-D sequence")
+        """Predict all curves of one placement over ``core_counts``.
+
+        Core counts must be integral (integral floats are accepted);
+        non-integral values raise :class:`PlacementError` rather than
+        being truncated.
+        """
+        ns = as_core_counts(core_counts, error=PlacementError)
+        self._check_node(m_comp)
+        self._check_node(m_comm)
+        comm_eval = self._comm_evaluator(m_comp, m_comm)
+        comp_eval, comp_curve = self._comp_selection(m_comp, m_comm)
+        alone_model = self._remote if self.is_remote(m_comp) else self._local
+        alone_eval = evaluator_for(alone_model.params)
         return PlacementPrediction(
             m_comp=m_comp,
             m_comm=m_comm,
             core_counts=ns,
-            comp_parallel=np.array(
-                [self.comp_parallel(int(n), m_comp, m_comm) for n in ns]
-            ),
-            comm_parallel=np.array(
-                [self.comm_parallel(int(n), m_comp, m_comm) for n in ns]
-            ),
-            comp_alone=np.array([self.comp_alone(int(n), m_comp) for n in ns]),
+            comp_parallel=comp_eval.sweep(ns)[comp_curve],
+            comm_parallel=comm_eval.sweep(ns)["comm_par"],
+            comp_alone=alone_eval.sweep(ns)["comp_alone"],
             comm_alone=self.comm_alone(m_comm),
         )
+
+    def predict_grid(
+        self,
+        core_counts: Sequence[int] | np.ndarray,
+        placements: Iterable[tuple[int, int]] | None = None,
+    ) -> dict[tuple[int, int], PlacementPrediction]:
+        """Predict every placement (or the given ones) over ``core_counts``.
+
+        The per-parameter-set tables are built at most once and shared
+        across the whole grid, so a full ``k × k`` prediction costs a
+        handful of array copies.
+        """
+        ns = as_core_counts(core_counts, error=PlacementError)
+        if placements is None:
+            nodes = range(self._n_numa_nodes)
+            placements = [(mc, mm) for mc in nodes for mm in nodes]
+        return {
+            (m_comp, m_comm): self.predict(ns, m_comp, m_comm)
+            for m_comp, m_comm in placements
+        }
 
     # ---- helpers --------------------------------------------------------------
 

@@ -19,7 +19,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.model import ContentionModel
+from repro.core.evaluation import as_core_counts, sweep_curves
 from repro.core.parameters import ModelParameters
 from repro.errors import ModelError
 
@@ -85,11 +85,9 @@ def parameter_sensitivity(
     """
     if relative_step <= 0:
         raise ModelError("relative_step must be positive")
-    ns = np.asarray(core_counts, dtype=int)
-    if ns.ndim != 1 or ns.size == 0:
-        raise ModelError("core_counts must be a non-empty 1-D sequence")
+    ns = as_core_counts(core_counts, error=ModelError)
 
-    base = ContentionModel(params).sweep(ns)
+    base = sweep_curves(params, ns)
     comm_sens: dict[str, float] = {}
     comp_sens: dict[str, float] = {}
 
@@ -100,7 +98,7 @@ def parameter_sensitivity(
             perturbed = _perturbed(params, field, step)
             if perturbed is None:
                 continue
-            swept = ContentionModel(perturbed).sweep(ns)
+            swept = sweep_curves(perturbed, ns)
             with np.errstate(divide="ignore", invalid="ignore"):
                 comm_rel = np.abs(swept["comm_par"] - base["comm_par"]) / np.maximum(
                     base["comm_par"], 1e-12

@@ -103,10 +103,10 @@ def load_experiment(directory: Path | str) -> ExperimentResult:
         n_numa_nodes=int(meta["n_numa_nodes"]),
     )
     sample_keys = tuple(tuple(k) for k in meta["sample_keys"])
-    predictions = {
-        key: model.predict(dataset.sweep[key].core_counts, *key)
-        for key in dataset.sweep
-    }
+    first = next(iter(dataset.sweep))
+    predictions = model.predict_grid(
+        dataset.sweep[first].core_counts, list(dataset.sweep)
+    )
     errors: ErrorBreakdown = placement_errors(dataset, model, sample_keys)
     return ExperimentResult(
         platform=platform,

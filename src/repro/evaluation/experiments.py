@@ -53,10 +53,12 @@ def run_platform_experiment(
 
     dataset = run_placement_grid(platform, config=config)
     model = calibrate_placement_model(dataset, platform)
-    predictions = {
-        key: model.predict(dataset.sweep[key].core_counts, *key)
-        for key in dataset.sweep
-    }
+    # Every placement shares the same measured core-count axis, so the
+    # whole grid is one batched pass over the evaluation layer.
+    first = next(iter(dataset.sweep))
+    predictions = model.predict_grid(
+        dataset.sweep[first].core_counts, list(dataset.sweep)
+    )
     samples = sample_placements(platform)
     errors = placement_errors(dataset, model, samples)
     return ExperimentResult(

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+import repro.bench.runner as runner_module
 from repro.bench import SweepConfig, measure_curves, measure_curves_engine
 from repro.bench.runner import default_core_counts
 from repro.errors import BenchmarkError
@@ -62,6 +63,27 @@ class TestSteadyState:
                 m_comm=0,
                 config=noiseless_config,
                 core_counts=[],
+            )
+
+    def test_fractional_core_counts_rejected(self, henri, noiseless_config):
+        # Regression: these used to be silently truncated (2.7 -> 2).
+        with pytest.raises(BenchmarkError, match="integral"):
+            measure_curves(
+                henri.machine,
+                henri.profile,
+                m_comp=0,
+                m_comm=0,
+                config=noiseless_config,
+                core_counts=[1, 2.7],
+            )
+        with pytest.raises(BenchmarkError, match="integral"):
+            measure_curves_engine(
+                henri.machine,
+                henri.profile,
+                m_comp=0,
+                m_comm=0,
+                config=noiseless_config,
+                core_counts=[1, 2.7],
             )
 
     def test_noise_is_seeded(self, henri):
@@ -149,3 +171,30 @@ class TestEngineRunner:
         assert curves.comp_parallel[0] == pytest.approx(
             curves.comp_alone[0], rel=0.02
         )
+
+    def test_idle_engine_raises_instead_of_spinning(self, henri, monkeypatch):
+        """Regression: the message loop used a break condition that was
+        always false, so an engine going idle with unfinished computation
+        flows spun forever.  It must raise instead."""
+
+        class _StuckFlow:
+            def __init__(self, stream):
+                self.stream = stream
+                self.done = False
+                self.finished_at = None
+
+        class _IdleEngine:
+            def __init__(self, machine, profile, **kwargs):
+                self.active_count = 0
+
+            def submit(self, stream, total_bytes):
+                return _StuckFlow(stream)
+
+            def step(self):
+                return ()
+
+        monkeypatch.setattr(runner_module, "Engine", _IdleEngine)
+        with pytest.raises(BenchmarkError, match="idle"):
+            runner_module._engine_parallel(
+                henri.machine, henri.profile, 4, 0, 0, SweepConfig(noiseless=True)
+            )
