@@ -1,0 +1,143 @@
+"""Service throughput: batched vs unbatched 64-query streams.
+
+The artefact guarded here is the service PR's claim: answering a
+64-query prediction stream through the batched path (one request
+carrying the whole stream, answered by one ``predict_batch`` pass over
+the memoized tables) beats the unbatched path (64 scalar HTTP round
+trips) — i.e. the service's batching layer actually amortizes the
+vectorized evaluation core instead of just adding plumbing.
+
+Also reported (untimed assertion-free): the same stream issued by 8
+concurrent clients against the coalescing batcher, the deployment shape
+the server-side batcher exists for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import SweepConfig
+from repro.evaluation import run_platform_experiment
+from repro.service.client import ServiceClient
+from repro.service.server import ContentionService
+
+PLATFORM = "occigen"
+N_QUERIES = 64
+N_CONCURRENT_CLIENTS = 8
+
+
+class _ServerThread:
+    """A service on its own event-loop thread (as ``repro serve`` runs it)."""
+
+    def __init__(self) -> None:
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.service: ContentionService | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+
+    def start(self) -> "_ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "service did not start"
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self.service = ContentionService(port=0)
+        await self.service.start()
+        self.loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.service.run_until_shutdown()
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self.loop
+        ).result(10)
+        self._thread.join(10)
+
+
+def _queries(n_nodes: int) -> list[tuple[int, int, int]]:
+    return [
+        (i % 14 + 1, i % n_nodes, (i + 1) % n_nodes)
+        for i in range(N_QUERIES)
+    ]
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_batched_stream_beats_unbatched(benchmark):
+    reference = run_platform_experiment(PLATFORM, config=SweepConfig(seed=0))
+    n_nodes = reference.model.n_numa_nodes
+    queries = _queries(n_nodes)
+
+    server = _ServerThread().start()
+    try:
+        client = ServiceClient("127.0.0.1", server.service.port)
+        client.calibrate(PLATFORM)  # keep calibration out of the timings
+
+        def unbatched() -> list[dict]:
+            return [
+                client.predict(PLATFORM, n=n, m_comp=mc, m_comm=mm)
+                for n, mc, mm in queries
+            ]
+
+        def batched() -> list[dict]:
+            return client.predict_many(PLATFORM, queries)
+
+        def coalesced() -> list[dict]:
+            chunk = N_QUERIES // N_CONCURRENT_CLIENTS
+            with ThreadPoolExecutor(N_CONCURRENT_CLIENTS) as pool:
+                parts = pool.map(
+                    lambda i: [
+                        client.predict(PLATFORM, n=n, m_comp=mc, m_comm=mm)
+                        for n, mc, mm in queries[i * chunk:(i + 1) * chunk]
+                    ],
+                    range(N_CONCURRENT_CLIENTS),
+                )
+                return [row for part in parts for row in part]
+
+        # Identical answers first: the throughput means nothing otherwise.
+        for (n, mc, mm), row in zip(queries, batched()):
+            assert row["comp_parallel"] == reference.model.comp_parallel(
+                n, mc, mm
+            )
+            assert row["comm_parallel"] == reference.model.comm_parallel(
+                n, mc, mm
+            )
+        assert [r["comp_parallel"] for r in unbatched()] == [
+            r["comp_parallel"] for r in batched()
+        ]
+
+        t_unbatched = min(_timed(unbatched) for _ in range(3))
+        t_batched = min(_timed(batched) for _ in range(3))
+        t_coalesced = min(_timed(coalesced) for _ in range(3))
+
+        qps_unbatched = N_QUERIES / t_unbatched
+        qps_batched = N_QUERIES / t_batched
+        assert qps_batched > qps_unbatched, (
+            f"batched stream slower than unbatched: "
+            f"{qps_batched:.0f} vs {qps_unbatched:.0f} queries/s"
+        )
+
+        batch_sizes = client.metrics()["batching"]["sizes"]
+        benchmark.extra_info.update(
+            {
+                "stream": f"{N_QUERIES} scalar queries",
+                "unbatched_qps": round(qps_unbatched),
+                "batched_qps": round(qps_batched),
+                "coalesced_qps": round(N_QUERIES / t_coalesced),
+                "speedup": round(qps_batched / qps_unbatched, 1),
+                "batch_size_distribution": batch_sizes,
+            }
+        )
+        benchmark.pedantic(batched, rounds=5, iterations=1)
+    finally:
+        server.stop()

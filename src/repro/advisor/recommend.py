@@ -63,6 +63,17 @@ class Recommendation:
             f"(comp {self.comp_gbps:.1f} GB/s, comm {self.comm_gbps:.1f} GB/s)"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (used by the prediction service)."""
+        return {
+            "n_cores": self.n_cores,
+            "m_comp": self.m_comp,
+            "m_comm": self.m_comm,
+            "makespan_s": self.makespan_s,
+            "comp_gbps": self.comp_gbps,
+            "comm_gbps": self.comm_gbps,
+        }
+
 
 class Advisor:
     """Ranks core counts and placements for an overlapped workload."""

@@ -34,6 +34,16 @@ Commands
     Run all platforms and verify the structural Table II claims.
 ``report [--output PATH]``
     Generate the full EXPERIMENTS.md report.
+``serve [--host H] [--port P]``
+    Run the contention-prediction service (docs/SERVICE.md).
+``query <endpoint> ...``
+    Query a running prediction service over HTTP.
+
+Exit codes
+----------
+``0`` success; every :class:`~repro.errors.ReproError` subclass maps to
+its own code (see :data:`EXIT_CODES`) so scripts can tell a bad
+placement (7) from an unreachable service (11) without parsing stderr.
 """
 
 from __future__ import annotations
@@ -46,7 +56,19 @@ from repro.advisor import Advisor, Workload
 from repro.bench import SweepConfig, run_placement_grid
 from repro.bench.runner import measure_curves
 from repro.core import calibrate_placement_model
-from repro.errors import ReproError
+from repro.errors import (
+    AdvisorError,
+    ArbitrationError,
+    BenchmarkError,
+    CalibrationError,
+    CommunicationError,
+    ModelError,
+    PlacementError,
+    ReproError,
+    ServiceError,
+    SimulationError,
+    TopologyError,
+)
 from repro.evaluation import (
     EXPERIMENTS,
     render_table1,
@@ -63,7 +85,32 @@ from repro.evaluation.experiments import figure_platform
 from repro.evaluation.report import generate_experiments_report
 from repro.topology import get_platform, platform_names, render_text
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODES", "exit_code_for"]
+
+#: Process exit code of each error family.  Subclass entries win over
+#: their bases (:func:`exit_code_for` walks the MRO), so e.g. a
+#: :class:`PlacementError` exits 7 even though it is a ``ModelError``.
+EXIT_CODES: dict[type, int] = {
+    ReproError: 1,
+    TopologyError: 2,
+    SimulationError: 3,
+    ArbitrationError: 4,
+    CalibrationError: 5,
+    ModelError: 6,
+    PlacementError: 7,
+    BenchmarkError: 8,
+    CommunicationError: 9,
+    AdvisorError: 10,
+    ServiceError: 11,
+}
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The exit code of an error: its most-derived mapped class."""
+    for cls in type(exc).__mro__:
+        if cls in EXIT_CODES:
+            return EXIT_CODES[cls]
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +207,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="generate EXPERIMENTS.md")
     p_rep.add_argument("--output", type=Path, help="write to file instead of stdout")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the contention-prediction service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout (s)"
+    )
+    p_serve.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="in-flight requests beyond this are answered 503",
+    )
+    p_serve.add_argument(
+        "--no-batching", action="store_true",
+        help="disable coalescing of concurrent scalar predictions",
+    )
+
+    p_query = sub.add_parser("query", help="query a running service")
+    remote = argparse.ArgumentParser(add_help=False)
+    remote.add_argument("--host", default="127.0.0.1")
+    remote.add_argument("--port", type=int, default=8080)
+    remote.add_argument("--timeout", type=float, default=30.0)
+    qsub = p_query.add_subparsers(dest="query_command", required=True)
+    qsub.add_parser("healthz", parents=[remote], help="service liveness")
+    qsub.add_parser("metrics", parents=[remote], help="service metrics JSON")
+    q_cal = qsub.add_parser(
+        "calibrate", parents=[remote], help="calibrate (or hit the cache)"
+    )
+    q_cal.add_argument("platform", choices=platform_names())
+    q_pred = qsub.add_parser(
+        "predict", parents=[remote], help="predict one configuration"
+    )
+    q_pred.add_argument("platform", choices=platform_names())
+    q_pred.add_argument("-n", "--cores", type=int, required=True)
+    q_pred.add_argument("--comp", type=int, required=True, metavar="M_COMP")
+    q_pred.add_argument("--comm", type=int, required=True, metavar="M_COMM")
+    q_adv = qsub.add_parser(
+        "advise", parents=[remote], help="recommend cores and placement"
+    )
+    q_adv.add_argument("platform", choices=platform_names())
+    q_adv.add_argument("--comp-bytes", type=float, required=True)
+    q_adv.add_argument("--comm-bytes", type=float, required=True)
+    q_adv.add_argument("--top", type=int, default=5)
 
     return parser
 
@@ -400,6 +493,100 @@ def _cmd_report(args: argparse.Namespace) -> str:
     return report
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import signal
+
+    from repro.service.server import ContentionService
+
+    async def _serve() -> None:
+        service = ContentionService(
+            host=args.host,
+            port=args.port,
+            request_timeout_s=args.timeout,
+            max_concurrency=args.max_concurrency,
+            batching=not args.no_batching,
+        )
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, service.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix event loop; Ctrl-C still raises
+        print(
+            f"serving contention predictions on "
+            f"http://{service.host}:{service.port} "
+            f"(seed-keyed registry, batching "
+            f"{'off' if args.no_batching else 'on'})",
+            flush=True,
+        )
+        try:
+            await service.run_until_shutdown()
+        except KeyboardInterrupt:
+            pass
+        await service.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return "shutdown complete"
+
+
+def _cmd_query(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    if args.query_command == "healthz":
+        return _json.dumps(client.healthz(), indent=2)
+    if args.query_command == "metrics":
+        return _json.dumps(client.metrics(), indent=2)
+    if args.query_command == "calibrate":
+        result = client.calibrate(args.platform, seed=args.seed)
+        return _json.dumps(result, indent=2)
+    if args.query_command == "predict":
+        result = client.predict(
+            args.platform,
+            n=args.cores,
+            m_comp=args.comp,
+            m_comm=args.comm,
+            seed=args.seed,
+        )
+        return (
+            f"{args.platform}: n={args.cores}, comp data on node "
+            f"{args.comp}, comm data on node {args.comm}\n"
+            f"  predicted computation bandwidth (overlapped): "
+            f"{result['comp_parallel']:.2f} GB/s\n"
+            f"  predicted communication bandwidth (overlapped): "
+            f"{result['comm_parallel']:.2f} GB/s\n"
+            f"  predicted computation bandwidth (alone): "
+            f"{result['comp_alone']:.2f} GB/s"
+        )
+    if args.query_command == "advise":
+        result = client.advise(
+            args.platform,
+            comp_bytes=args.comp_bytes,
+            comm_bytes=args.comm_bytes,
+            top=args.top,
+            seed=args.seed,
+        )
+        recs = result["recommendations"]
+        lines = [f"Top {len(recs)} configurations for {args.platform}:"]
+        for i, rec in enumerate(recs):
+            lines.append(
+                f"  {i + 1}. {rec['n_cores']} cores, comp data on node "
+                f"{rec['m_comp']}, comm data on node {rec['m_comm']}: "
+                f"makespan {rec['makespan_s'] * 1e3:.2f} ms "
+                f"(comp {rec['comp_gbps']:.1f} GB/s, "
+                f"comm {rec['comm_gbps']:.1f} GB/s)"
+            )
+        return "\n".join(lines)
+    raise ServiceError(f"unknown query command {args.query_command!r}")
+
+
 _COMMANDS = {
     "platforms": _cmd_platforms,
     "topo": _cmd_topo,
@@ -418,6 +605,8 @@ _COMMANDS = {
     "export-platform": _cmd_export_platform,
     "check": _cmd_check,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 
@@ -429,7 +618,7 @@ def main(argv: list[str] | None = None) -> int:
         output = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
     try:
         print(output)
     except BrokenPipeError:

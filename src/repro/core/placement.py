@@ -30,7 +30,31 @@ from repro.core.model import ContentionModel
 from repro.core.parameters import ModelParameters
 from repro.errors import PlacementError
 
-__all__ = ["PlacementModel", "PlacementPrediction"]
+__all__ = ["PlacementModel", "PlacementPrediction", "PointPrediction"]
+
+
+@dataclass(frozen=True)
+class PointPrediction:
+    """Model predictions for one ``(n, m_comp, m_comm)`` query."""
+
+    n: int
+    m_comp: int
+    m_comm: int
+    comp_parallel: float
+    comm_parallel: float
+    comp_alone: float
+    comm_alone: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "m_comp": self.m_comp,
+            "m_comm": self.m_comm,
+            "comp_parallel": self.comp_parallel,
+            "comm_parallel": self.comm_parallel,
+            "comp_alone": self.comp_alone,
+            "comm_alone": self.comm_alone,
+        }
 
 
 @dataclass(frozen=True)
@@ -207,6 +231,44 @@ class PlacementModel:
             (m_comp, m_comm): self.predict(ns, m_comp, m_comm)
             for m_comp, m_comm in placements
         }
+
+    def predict_batch(
+        self, queries: Sequence[tuple[int, int, int]]
+    ) -> list[PointPrediction]:
+        """Answer heterogeneous scalar ``(n, m_comp, m_comm)`` queries in bulk.
+
+        Queries are grouped by placement and each distinct placement is
+        evaluated once through :meth:`predict` over its core counts, so
+        a batch of scalar queries reuses the same memoized tables as a
+        grid sweep.  Results are returned in query order and are
+        bit-identical to issuing the scalar queries one at a time.
+        """
+        groups: dict[tuple[int, int], list[int]] = {}
+        for index, query in enumerate(queries):
+            if len(query) != 3:
+                raise PlacementError(
+                    f"batch queries must be (n, m_comp, m_comm) triples, "
+                    f"got {query!r}"
+                )
+            _, m_comp, m_comm = query
+            groups.setdefault((m_comp, m_comm), []).append(index)
+        out: list[PointPrediction | None] = [None] * len(queries)
+        for (m_comp, m_comm), indices in groups.items():
+            ns = as_core_counts(
+                [queries[i][0] for i in indices], error=PlacementError
+            )
+            pred = self.predict(ns, m_comp, m_comm)
+            for j, i in enumerate(indices):
+                out[i] = PointPrediction(
+                    n=int(ns[j]),
+                    m_comp=m_comp,
+                    m_comm=m_comm,
+                    comp_parallel=float(pred.comp_parallel[j]),
+                    comm_parallel=float(pred.comm_parallel[j]),
+                    comp_alone=float(pred.comp_alone[j]),
+                    comm_alone=float(pred.comm_alone),
+                )
+        return out  # type: ignore[return-value]
 
     # ---- helpers --------------------------------------------------------------
 

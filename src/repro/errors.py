@@ -18,6 +18,7 @@ __all__ = [
     "BenchmarkError",
     "CommunicationError",
     "AdvisorError",
+    "ServiceError",
 ]
 
 
@@ -59,3 +60,7 @@ class CommunicationError(ReproError):
 
 class AdvisorError(ReproError):
     """Raised when the placement advisor cannot produce a recommendation."""
+
+
+class ServiceError(ReproError):
+    """Raised by the prediction service for malformed or unservable requests."""

@@ -30,7 +30,25 @@ from repro.topology.platforms import get_platform
 __all__ = ["save_experiment", "load_experiment"]
 
 _FORMAT_VERSION = 1
-_FILES = ("dataset.csv", "model_local.json", "model_remote.json", "meta.json")
+_FILES = (
+    "dataset.csv",
+    "model_local.json",
+    "model_remote.json",
+    "errors.json",
+    "meta.json",
+)
+
+#: Keys every archived Table II row must carry.
+_ERROR_KEYS = (
+    "platform",
+    "comm_samples",
+    "comm_non_samples",
+    "comm_all",
+    "comp_samples",
+    "comp_non_samples",
+    "comp_all",
+    "average",
+)
 
 
 def save_experiment(result: ExperimentResult, directory: Path | str) -> Path:
@@ -77,6 +95,11 @@ def load_experiment(directory: Path | str) -> ExperimentResult:
     The platform is re-instantiated from the registry by name; archives
     of custom platforms must be reloaded with their own factories (use
     :mod:`repro.topology.serialize` to ship the platform alongside).
+
+    ``errors.json`` is part of the round trip: it must be present,
+    carry the full Table II row, and agree with ``meta.json`` on the
+    platform.  The error breakdown itself is still *recomputed* from
+    the reloaded curves (it is derived data).
     """
     directory = Path(directory)
     missing = [f for f in _FILES if not (directory / f).exists()]
@@ -88,6 +111,19 @@ def load_experiment(directory: Path | str) -> ExperimentResult:
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ReproError(
             f"unsupported archive version {meta.get('format_version')!r}"
+        )
+
+    stored_errors = json.loads((directory / "errors.json").read_text())
+    missing_keys = [k for k in _ERROR_KEYS if k not in stored_errors]
+    if missing_keys:
+        raise ReproError(
+            f"corrupt errors.json in {directory}: missing keys {missing_keys}"
+        )
+    if stored_errors["platform"] != meta["platform"]:
+        raise ReproError(
+            f"archive {directory} is inconsistent: errors.json is for "
+            f"{stored_errors['platform']!r} but meta.json says "
+            f"{meta['platform']!r}"
         )
 
     platform = get_platform(meta["platform"])

@@ -1,0 +1,164 @@
+"""Blocking JSON client of the contention-prediction service.
+
+Used by ``python -m repro query``, the test suite and the service
+benchmark.  One :class:`http.client.HTTPConnection` per request — the
+server answers with ``Connection: close`` — so a client instance is
+safe to share across threads.
+
+Errors come back typed: a non-2xx response raises
+:class:`ServiceResponseError`, whose ``error_type`` carries the server
+-side :class:`~repro.errors.ReproError` subclass name from the JSON
+error envelope.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Sequence
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient", "ServiceResponseError"]
+
+
+class ServiceResponseError(ServiceError):
+    """A structured error answered by the service."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(f"[{status} {error_type}] {message}")
+        self.status = status
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class ServiceClient:
+    """Thin blocking wrapper over the JSON API."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, *, timeout: float = 30.0
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+
+    # ---- transport -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self._host}:{self._port}: {exc}"
+                ) from exc
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServiceError(
+                    f"service answered non-JSON ({response.status}): {exc}"
+                ) from exc
+            if response.status >= 400:
+                error = data.get("error", {}) if isinstance(data, dict) else {}
+                raise ServiceResponseError(
+                    response.status,
+                    error.get("type", "unknown"),
+                    error.get("message", raw.decode("utf-8", "replace")),
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ---- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def calibrate(self, platform: str, *, seed: int = 0) -> dict:
+        return self._request(
+            "POST", "/calibrate", {"platform": platform, "seed": seed}
+        )
+
+    def predict(
+        self, platform: str, *, n: int, m_comp: int, m_comm: int, seed: int = 0
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/predict",
+            {
+                "platform": platform,
+                "seed": seed,
+                "n": n,
+                "m_comp": m_comp,
+                "m_comm": m_comm,
+            },
+        )
+
+    def predict_many(
+        self,
+        platform: str,
+        queries: Sequence[tuple[int, int, int]],
+        *,
+        seed: int = 0,
+    ) -> list[dict]:
+        """Bulk form of :meth:`predict`: one request, many queries."""
+        body = {
+            "platform": platform,
+            "seed": seed,
+            "queries": [
+                {"n": n, "m_comp": m_comp, "m_comm": m_comm}
+                for n, m_comp, m_comm in queries
+            ],
+        }
+        return self._request("POST", "/predict", body)["results"]
+
+    def predict_grid(
+        self,
+        platform: str,
+        core_counts: Sequence[int],
+        *,
+        placements: Sequence[tuple[int, int]] | None = None,
+        seed: int = 0,
+    ) -> dict:
+        body: dict = {
+            "platform": platform,
+            "seed": seed,
+            "core_counts": list(core_counts),
+        }
+        if placements is not None:
+            body["placements"] = [list(p) for p in placements]
+        return self._request("POST", "/predict_grid", body)
+
+    def advise(
+        self,
+        platform: str,
+        *,
+        comp_bytes: float,
+        comm_bytes: float,
+        top: int = 5,
+        seed: int = 0,
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/advise",
+            {
+                "platform": platform,
+                "seed": seed,
+                "comp_bytes": comp_bytes,
+                "comm_bytes": comm_bytes,
+                "top": top,
+            },
+        )

@@ -1,0 +1,141 @@
+"""Model registry: calibrate once per (platform, seed), share forever.
+
+Calibration is the only expensive step of serving a query (tens of
+milliseconds of simulated benchmarking + fitting); everything after it
+is an O(1) lookup in the memoized evaluation tables.  The registry
+therefore keys calibrated :class:`~repro.core.placement.PlacementModel`
+instances by ``(platform, seed)`` and
+
+* serves repeat requests from an LRU-bounded cache,
+* deduplicates concurrent first requests (*single-flight*): when N
+  clients ask for an uncached platform at once, exactly one calibration
+  runs and all N await its result,
+* runs the calibration itself in the default executor so the event loop
+  keeps serving cheap cached requests meanwhile.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.config import SweepConfig
+from repro.core.placement import PlacementModel
+from repro.errors import ServiceError
+from repro.service.metrics import ServiceMetrics
+from repro.topology.platforms import Platform, get_platform, platform_names
+
+__all__ = ["ModelKey", "ModelEntry", "ModelRegistry"]
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Cache key: a platform calibrated under one measurement seed."""
+
+    platform: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One calibrated model plus the platform it belongs to."""
+
+    key: ModelKey
+    platform: Platform
+    model: PlacementModel
+    error_average_pct: float = field(default=float("nan"))
+
+
+def _default_calibrator(key: ModelKey) -> ModelEntry:
+    """The full §IV pipeline: sweep, calibrate, score."""
+    # Imported lazily: evaluation pulls the whole bench stack.
+    from repro.evaluation.experiments import run_platform_experiment
+
+    result = run_platform_experiment(
+        key.platform, config=SweepConfig(seed=key.seed)
+    )
+    return ModelEntry(
+        key=key,
+        platform=result.platform,
+        model=result.model,
+        error_average_pct=result.errors.average,
+    )
+
+
+class ModelRegistry:
+    """LRU-bounded, single-flight cache of calibrated models."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 16,
+        metrics: ServiceMetrics | None = None,
+        calibrator: Callable[[ModelKey], ModelEntry] | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._metrics = metrics or ServiceMetrics()
+        self._calibrator = calibrator or _default_calibrator
+        self._entries: "OrderedDict[ModelKey, ModelEntry]" = OrderedDict()
+        self._pending: dict[ModelKey, asyncio.Task] = {}
+
+    # ---- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ModelKey) -> bool:
+        return key in self._entries
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self._metrics
+
+    def cached(self, platform: str, seed: int = 0) -> bool:
+        return ModelKey(platform, seed) in self._entries
+
+    # ---- the cache -------------------------------------------------------------
+
+    async def get(self, platform: str, seed: int = 0) -> ModelEntry:
+        """The calibrated model of ``(platform, seed)``, calibrating at
+        most once no matter how many callers arrive concurrently."""
+        # Validate the name up front so a typo cannot occupy the
+        # single-flight slot with a doomed calibration.
+        if platform not in platform_names():
+            get_platform(platform)  # raises TopologyError listing valid names
+        key = ModelKey(platform, seed)
+
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._metrics.registry_lookup(hit=True)
+            return entry
+
+        task = self._pending.get(key)
+        if task is not None:
+            # Single-flight: join the calibration already in progress.
+            # shield() so one cancelled waiter does not kill it for the
+            # others.
+            self._metrics.registry_lookup(hit=False, waited=True)
+            return await asyncio.shield(task)
+
+        self._metrics.registry_lookup(hit=False)
+        task = asyncio.get_running_loop().create_task(self._calibrate(key))
+        self._pending[key] = task
+        try:
+            return await asyncio.shield(task)
+        finally:
+            self._pending.pop(key, None)
+
+    async def _calibrate(self, key: ModelKey) -> ModelEntry:
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(None, self._calibrator, key)
+        self._metrics.calibrations_total += 1
+        self._entries[key] = entry
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self._metrics.registry_evictions += 1
+        return entry

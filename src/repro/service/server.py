@@ -1,0 +1,411 @@
+"""The asyncio HTTP/1.1 JSON server of the contention-prediction service.
+
+Stdlib-only: requests are parsed off an :func:`asyncio.start_server`
+stream, routed to handlers that drive the model registry / batcher, and
+answered as JSON.  Operational behaviour:
+
+* **per-request timeout** — a handler exceeding ``request_timeout_s``
+  is cancelled and answered with 504;
+* **concurrency limit** — more than ``max_concurrency`` in-flight
+  requests are rejected immediately with 503 (load-shedding beats
+  unbounded queueing for a latency-bound service);
+* **structured errors** — every :class:`ReproError` maps to the JSON
+  envelope and HTTP status of :mod:`repro.service.protocol`;
+* **graceful shutdown** — :meth:`ContentionService.shutdown` stops
+  accepting, drains in-flight requests (bounded by ``drain_timeout_s``)
+  and flushes the batcher, so clients never see a torn response.
+
+Endpoints: ``GET /healthz``, ``GET /metrics``, ``POST /calibrate``,
+``POST /predict``, ``POST /predict_grid``, ``POST /advise`` — schemas
+in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.advisor import Advisor, Workload
+from repro.errors import ReproError, ServiceError
+from repro.service import protocol
+from repro.service.batching import PredictBatcher
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import ModelEntry, ModelRegistry
+
+__all__ = ["ContentionService"]
+
+_MAX_BODY_BYTES = 1 << 20
+_MAX_HEADER_LINES = 100
+
+
+class _HttpError(Exception):
+    """Protocol-level failure with a fixed HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ContentionService:
+    """One serving instance: registry + batcher + HTTP front end."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: ModelRegistry | None = None,
+        metrics: ServiceMetrics | None = None,
+        request_timeout_s: float = 30.0,
+        max_concurrency: int = 64,
+        drain_timeout_s: float = 10.0,
+        batch_window_s: float = 0.0,
+        batching: bool = True,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.metrics = metrics or (
+            registry.metrics if registry is not None else ServiceMetrics()
+        )
+        # `is not None`, not truthiness: an empty registry has len() == 0.
+        self.registry = (
+            registry
+            if registry is not None
+            else ModelRegistry(metrics=self.metrics)
+        )
+        self.batcher: PredictBatcher | None = (
+            PredictBatcher(window_s=batch_window_s, metrics=self.metrics)
+            if batching
+            else None
+        )
+        self._request_timeout_s = request_timeout_s
+        self._max_concurrency = max_concurrency
+        self._drain_timeout_s = drain_timeout_s
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._shutdown = asyncio.Event()
+        self._started_at = time.monotonic()
+        self._routes = {
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/calibrate"): self._handle_calibrate,
+            ("POST", "/predict"): self._handle_predict,
+            ("POST", "/predict_grid"): self._handle_predict_grid,
+            ("POST", "/advise"): self._handle_advise,
+        }
+
+    # ---- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise ServiceError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> None:
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port
+        )
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until :meth:`shutdown` is called (from any task)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        """Signal :meth:`run_until_shutdown` to exit (signal-handler safe)."""
+        self._shutdown.set()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight requests, close sockets."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.batcher is not None:
+            await self.batcher.drain()
+        pending = {t for t in self._connections if not t.done()}
+        if pending:
+            _, stragglers = await asyncio.wait(
+                pending, timeout=self._drain_timeout_s
+            )
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        self._shutdown.set()
+
+    # ---- connection handling ---------------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HttpError as exc:
+                await self._respond(
+                    writer,
+                    exc.status,
+                    protocol.error_payload(
+                        ServiceError(str(exc)), status=exc.status
+                    ),
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away mid-request
+            await self._dispatch(writer, method, path, body)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "invalid Content-Length") from None
+        else:
+            raise _HttpError(400, "too many headers")
+        if content_length > _MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        # Strip any query string; the API is body-driven.
+        path = target.split("?", 1)[0]
+        return method, path, body
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        known_paths = {p for _, p in self._routes}
+        # Unknown paths share one metrics label so scanners cannot grow
+        # the metric cardinality without bound.
+        endpoint = path.lstrip("/") if path in known_paths else "_unknown"
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if path in known_paths:
+                status, payload = 405, protocol.error_payload(
+                    ServiceError(f"method {method} not allowed on {path}"),
+                    status=405,
+                )
+            else:
+                status, payload = 404, protocol.error_payload(
+                    ServiceError(f"unknown endpoint {path}"), status=404
+                )
+            self.metrics.observe_request(endpoint, status, 0.0)
+            await self._respond(writer, status, payload)
+            return
+
+        if self.metrics.in_flight >= self._max_concurrency:
+            self.metrics.rejected_total += 1
+            self.metrics.observe_request(endpoint, 503, 0.0)
+            await self._respond(
+                writer,
+                503,
+                protocol.error_payload(
+                    ServiceError(
+                        f"concurrency limit reached "
+                        f"({self._max_concurrency} requests in flight)"
+                    ),
+                    status=503,
+                ),
+            )
+            return
+
+        self.metrics.in_flight += 1
+        started = time.perf_counter()
+        try:
+            try:
+                parsed = json.loads(body.decode("utf-8")) if body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServiceError(f"invalid JSON body: {exc}") from None
+            payload = await asyncio.wait_for(
+                handler(parsed), timeout=self._request_timeout_s
+            )
+            status = 200
+        except asyncio.TimeoutError:
+            self.metrics.timeouts_total += 1
+            status = 504
+            payload = protocol.error_payload(
+                ServiceError(
+                    f"request exceeded the {self._request_timeout_s:g}s "
+                    "timeout"
+                ),
+                status=504,
+            )
+        except ReproError as exc:
+            status = protocol.http_status_for(exc)
+            payload = protocol.error_payload(exc, status=status)
+        except Exception as exc:  # noqa: BLE001 — the envelope must hold
+            status = 500
+            payload = protocol.error_payload(exc, status=500)
+        finally:
+            self.metrics.in_flight -= 1
+        self.metrics.observe_request(
+            endpoint, status, time.perf_counter() - started
+        )
+        await self._respond(writer, status, payload)
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to salvage
+
+    # ---- endpoint handlers -----------------------------------------------------
+
+    async def _handle_healthz(self, _body: object) -> dict:
+        from repro import __version__
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": time.monotonic() - self._started_at,
+            "models_cached": len(self.registry),
+            "batching": self.batcher is not None,
+        }
+
+    async def _handle_metrics(self, _body: object) -> dict:
+        return self.metrics.snapshot()
+
+    async def _handle_calibrate(self, body: object) -> dict:
+        platform, seed = protocol.parse_calibrate(body)
+        cached = self.registry.cached(platform, seed)
+        entry = await self.registry.get(platform, seed)
+        return {
+            "platform": platform,
+            "seed": seed,
+            "cached": cached,
+            "local": entry.model.local.to_dict(),
+            "remote": entry.model.remote.to_dict(),
+            "error_average_pct": entry.error_average_pct,
+            "n_numa_nodes": entry.model.n_numa_nodes,
+            "nodes_per_socket": entry.model.nodes_per_socket,
+        }
+
+    async def _handle_predict(self, body: object) -> dict:
+        platform, seed, queries, is_bulk = protocol.parse_predict(body)
+        entry = await self.registry.get(platform, seed)
+        results = await self._predict_queries(entry, queries)
+        if is_bulk:
+            return {
+                "platform": platform,
+                "seed": seed,
+                "results": [r.to_dict() for r in results],
+            }
+        out = results[0].to_dict()
+        out.update({"platform": platform, "seed": seed})
+        return out
+
+    async def _predict_queries(
+        self, entry: ModelEntry, queries: list[protocol.PredictQuery]
+    ) -> list:
+        if self.batcher is None:
+            return entry.model.predict_batch([q.as_tuple() for q in queries])
+        return list(
+            await asyncio.gather(
+                *(
+                    self.batcher.predict(entry, q.n, q.m_comp, q.m_comm)
+                    for q in queries
+                )
+            )
+        )
+
+    async def _handle_predict_grid(self, body: object) -> dict:
+        platform, seed, core_counts, placements = protocol.parse_predict_grid(
+            body
+        )
+        entry = await self.registry.get(platform, seed)
+        grid = entry.model.predict_grid(core_counts, placements)
+        return {
+            "platform": platform,
+            "seed": seed,
+            "core_counts": core_counts,
+            "grid": [
+                {
+                    "m_comp": m_comp,
+                    "m_comm": m_comm,
+                    "comp_parallel": pred.comp_parallel.tolist(),
+                    "comm_parallel": pred.comm_parallel.tolist(),
+                    "comp_alone": pred.comp_alone.tolist(),
+                    "comm_alone": pred.comm_alone,
+                }
+                for (m_comp, m_comm), pred in grid.items()
+            ],
+        }
+
+    async def _handle_advise(self, body: object) -> dict:
+        platform, seed, comp_bytes, comm_bytes, top = protocol.parse_advise(
+            body
+        )
+        entry = await self.registry.get(platform, seed)
+        advisor = Advisor(entry.model, entry.platform.machine)
+        workload = Workload(comp_bytes=comp_bytes, comm_bytes=comm_bytes)
+        recommendations = advisor.recommend(workload, top=top)
+        return {
+            "platform": platform,
+            "seed": seed,
+            "recommendations": [r.to_dict() for r in recommendations],
+        }

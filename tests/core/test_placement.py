@@ -138,3 +138,59 @@ class TestPredictSweep:
     def test_empty_core_counts_rejected(self, model):
         with pytest.raises(PlacementError):
             model.predict([], 0, 0)
+
+
+class TestPredictGridValidation:
+    """predict_grid must reject exactly what the scalar path rejects."""
+
+    def test_non_integral_core_counts_rejected(self, model):
+        with pytest.raises(PlacementError, match="integral"):
+            model.predict_grid([1.0, 2.5, 3.0])
+
+    def test_non_integral_matches_scalar_predict(self, model):
+        with pytest.raises(PlacementError) as grid_err:
+            model.predict_grid([2.7], [(0, 0)])
+        with pytest.raises(PlacementError) as scalar_err:
+            model.predict([2.7], 0, 0)
+        assert str(grid_err.value) == str(scalar_err.value)
+
+    def test_out_of_range_node_rejected(self, model):
+        with pytest.raises(PlacementError, match="out of range"):
+            model.predict_grid([1, 2], [(0, 4)])
+        with pytest.raises(PlacementError, match="out of range"):
+            model.predict_grid([1, 2], [(-1, 0)])
+
+    def test_non_integer_node_rejected(self, model):
+        with pytest.raises(PlacementError, match="integer"):
+            model.predict_grid([1, 2], [(0.5, 0)])
+
+    def test_empty_grid_rejected(self, model):
+        with pytest.raises(PlacementError, match="non-empty"):
+            model.predict_grid([])
+        with pytest.raises(PlacementError, match="non-empty"):
+            model.predict_grid(np.array([]))
+
+    def test_negative_core_counts_rejected(self, model):
+        with pytest.raises(PlacementError, match=">= 0"):
+            model.predict_grid([-1, 2])
+
+
+class TestPredictBatch:
+    def test_matches_scalar_queries(self, model):
+        queries = [(4, 0, 0), (8, 0, 1), (2, 2, 2), (10, 3, 0), (4, 0, 0)]
+        results = model.predict_batch(queries)
+        assert [r.n for r in results] == [q[0] for q in queries]
+        for (n, mc, mm), point in zip(queries, results):
+            assert point.comp_parallel == model.comp_parallel(n, mc, mm)
+            assert point.comm_parallel == model.comm_parallel(n, mc, mm)
+            assert point.comp_alone == model.comp_alone(n, mc)
+            assert point.comm_alone == model.comm_alone(mm)
+
+    def test_empty_batch(self, model):
+        assert model.predict_batch([]) == []
+
+    def test_invalid_query_rejected(self, model):
+        with pytest.raises(PlacementError, match="out of range"):
+            model.predict_batch([(4, 0, 0), (4, 0, 9)])
+        with pytest.raises(PlacementError, match="triples"):
+            model.predict_batch([(4, 0)])

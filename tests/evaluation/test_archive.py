@@ -57,6 +57,32 @@ class TestErrors:
         with pytest.raises(ReproError, match="missing"):
             load_experiment(target)
 
+    def test_missing_errors_json_rejected(self, henri_experiment, tmp_path):
+        """Regression: errors.json is part of the archive contract (the
+        docstring always said so) — a copy without it must not load."""
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        (target / "errors.json").unlink()
+        with pytest.raises(ReproError, match="errors.json"):
+            load_experiment(target)
+
+    def test_truncated_errors_json_rejected(self, henri_experiment, tmp_path):
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        data = json.loads((target / "errors.json").read_text())
+        del data["average"]
+        (target / "errors.json").write_text(json.dumps(data))
+        with pytest.raises(ReproError, match="missing keys.*average"):
+            load_experiment(target)
+
+    def test_mismatched_errors_platform_rejected(
+        self, henri_experiment, tmp_path
+    ):
+        target = save_experiment(henri_experiment, tmp_path / "henri")
+        data = json.loads((target / "errors.json").read_text())
+        data["platform"] = "occigen"
+        (target / "errors.json").write_text(json.dumps(data))
+        with pytest.raises(ReproError, match="inconsistent"):
+            load_experiment(target)
+
     def test_wrong_version(self, henri_experiment, tmp_path):
         target = save_experiment(henri_experiment, tmp_path / "henri")
         meta = json.loads((target / "meta.json").read_text())

@@ -1,0 +1,94 @@
+"""Fixtures for the prediction-service tests.
+
+The server runs on its own event loop in a background thread — exactly
+how ``python -m repro serve`` deploys it — while the tests drive it
+with the blocking client over real TCP sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ContentionService
+
+
+class ServerThread:
+    """A ContentionService running on a dedicated event-loop thread."""
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.service: ContentionService | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("service did not start within 10s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        service = ContentionService(port=0, **self._kwargs)
+        await service.start()
+        self.service = service
+        self.loop = asyncio.get_running_loop()
+        self.port = service.port
+        self._ready.set()
+        await service.run_until_shutdown()
+
+    def run(self, coro, timeout: float = 30.0):
+        """Run a coroutine on the server's loop from the test thread."""
+        assert self.loop is not None
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.loop is None or not self._thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self.loop
+        ).result(timeout)
+        self._thread.join(timeout)
+
+    def client(self, **kwargs) -> ServiceClient:
+        assert self.port is not None
+        return ServiceClient("127.0.0.1", self.port, **kwargs)
+
+
+@pytest.fixture
+def server_factory():
+    """Start servers with custom options; all stopped at teardown."""
+    started: list[ServerThread] = []
+
+    def start(**kwargs) -> ServerThread:
+        server = ServerThread(**kwargs).__enter__()
+        started.append(server)
+        return server
+
+    yield start
+    for server in started:
+        server.stop()
+
+
+@pytest.fixture
+def server(server_factory):
+    """One default server instance."""
+    return server_factory()

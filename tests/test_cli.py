@@ -1,8 +1,9 @@
-"""CLI tests (argument parsing and command outputs)."""
+"""CLI tests (argument parsing, command outputs, exit codes)."""
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro import errors
+from repro.cli import EXIT_CODES, build_parser, exit_code_for, main
 
 
 class TestParser:
@@ -104,11 +105,11 @@ class TestCommands:
         assert "Top 2 configurations" in out
 
     def test_predict_error_reported(self, capsys):
-        """Out-of-range NUMA node -> clean error, exit code 1."""
+        """Out-of-range NUMA node -> clean error, PlacementError exit code."""
         code = main(
             ["predict", "occigen", "-n", "2", "--comp", "9", "--comm", "0"]
         )
-        assert code == 1
+        assert code == EXIT_CODES[errors.PlacementError] == 7
         assert "error:" in capsys.readouterr().err
 
     def test_report_to_file(self, tmp_path, capsys):
@@ -170,3 +171,83 @@ class TestCommands:
         assert main(["--seed", "1", "check"]) == 0
         out = capsys.readouterr().out
         assert "7/7 structural claims hold" in out
+
+
+class TestExitCodes:
+    """Every ReproError subclass maps to its own process exit code."""
+
+    def test_every_subclass_has_a_distinct_code(self):
+        subclasses = [
+            getattr(errors, name)
+            for name in errors.__all__
+        ]
+        codes = [exit_code_for(cls("boom")) for cls in subclasses]
+        assert len(set(codes)) == len(subclasses), (
+            "exit codes collide: "
+            f"{dict(zip([c.__name__ for c in subclasses], codes))}"
+        )
+        assert all(1 <= code <= 125 for code in codes)
+
+    def test_most_derived_class_wins(self):
+        # PlacementError is a ModelError; ArbitrationError a SimulationError.
+        assert exit_code_for(errors.PlacementError("x")) == 7
+        assert exit_code_for(errors.ModelError("x")) == 6
+        assert exit_code_for(errors.ArbitrationError("x")) == 4
+        assert exit_code_for(errors.SimulationError("x")) == 3
+
+    def test_unmapped_subclass_falls_back_to_base(self):
+        class CustomError(errors.CalibrationError):
+            pass
+
+        assert exit_code_for(CustomError("x")) == EXIT_CODES[
+            errors.CalibrationError
+        ]
+
+    def test_generic_repro_error_exits_1(self):
+        assert exit_code_for(errors.ReproError("x")) == 1
+
+    def test_advisor_error_exit_code(self, capsys):
+        code = main(
+            [
+                "advise", "occigen",
+                "--comp-bytes", "0", "--comm-bytes", "0",
+            ]
+        )
+        assert code == EXIT_CODES[errors.AdvisorError] == 10
+        assert "nothing to advise" in capsys.readouterr().err
+
+    def test_unreachable_service_exit_code(self, capsys):
+        # Port 1 is never listening; the client maps it to ServiceError.
+        code = main(
+            ["query", "healthz", "--port", "1", "--timeout", "0.5"]
+        )
+        assert code == EXIT_CODES[errors.ServiceError] == 11
+        assert "cannot reach service" in capsys.readouterr().err
+
+
+class TestServeQueryParsing:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8080 and args.host == "127.0.0.1"
+        assert not args.no_batching
+
+    def test_query_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_query_predict_args(self):
+        args = build_parser().parse_args(
+            [
+                "query", "predict", "henri",
+                "-n", "14", "--comp", "0", "--comm", "1",
+                "--port", "9999",
+            ]
+        )
+        assert args.query_command == "predict"
+        assert (args.cores, args.comp, args.comm) == (14, 0, 1)
+        assert args.port == 9999
+
+    def test_query_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "calibrate", "bogus"])
