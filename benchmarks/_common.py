@@ -16,9 +16,24 @@ __all__ = [
 ]
 
 
-def run_figure_pipeline(platform_name: str, seed: int = 1) -> ExperimentResult:
-    """The timed unit of every figure benchmark: the full §IV pipeline."""
-    return run_platform_experiment(platform_name, config=SweepConfig(seed=seed))
+def run_figure_pipeline(
+    platform_name: str,
+    seed: int = 1,
+    *,
+    cache_dir=None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """The timed unit of every figure benchmark: the full §IV pipeline.
+
+    ``cache_dir`` and ``jobs`` pass straight through to the staged
+    pipeline, so benchmarks can time warm-cache and parallel runs.
+    """
+    return run_platform_experiment(
+        platform_name,
+        config=SweepConfig(seed=seed),
+        cache_dir=cache_dir,
+        jobs=jobs,
+    )
 
 
 def _errors_by_group(result: ExperimentResult, *, comm: bool):

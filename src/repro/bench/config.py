@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 from repro.errors import BenchmarkError
 from repro.units import MB, MiB
@@ -46,3 +47,14 @@ class SweepConfig:
             raise BenchmarkError("bytes_per_core must be positive")
         if self.repetitions < 1:
             raise BenchmarkError("repetitions must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Every field, JSON-serialisable, for cache fingerprinting.
+
+        Any field change — including a label change — must change the
+        returned mapping, because the pipeline's artifact keys are
+        derived from it (:func:`repro.pipeline.fingerprint.config_fingerprint`).
+        """
+        data = asdict(self)
+        data["labels"] = {str(k): str(v) for k, v in self.labels.items()}
+        return data

@@ -152,8 +152,19 @@ class PlatformDataset:
         "comm_parallel",
     )
 
-    def to_csv(self) -> str:
-        """Serialise all curves to CSV (one row per core count per placement)."""
+    def to_csv(self, *, full_precision: bool = False) -> str:
+        """Serialise all curves to CSV (one row per core count per placement).
+
+        The default 6-decimal format is human-friendly but lossy.  With
+        ``full_precision=True`` bandwidths are written as their shortest
+        round-tripping ``repr``, so :meth:`from_csv` reconstructs every
+        float64 bit for bit — the contract the pipeline artifact store
+        relies on for warm runs being identical to cold runs.
+        """
+
+        def fmt(x: float) -> str:
+            return repr(float(x)) if full_precision else f"{x:.6f}"
+
         out = io.StringIO()
         writer = csv.writer(out)
         writer.writerow(self._FIELDS)
@@ -166,10 +177,10 @@ class PlatformDataset:
                         key[0],
                         key[1],
                         int(curves.core_counts[i]),
-                        f"{curves.comp_alone[i]:.6f}",
-                        f"{curves.comm_alone[i]:.6f}",
-                        f"{curves.comp_parallel[i]:.6f}",
-                        f"{curves.comm_parallel[i]:.6f}",
+                        fmt(curves.comp_alone[i]),
+                        fmt(curves.comm_alone[i]),
+                        fmt(curves.comp_parallel[i]),
+                        fmt(curves.comm_parallel[i]),
                     ]
                 )
         return out.getvalue()

@@ -8,7 +8,10 @@ former, :func:`run_placement_grid` the latter.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.bench.config import SweepConfig
 from repro.bench.results import ModeCurves, PlacementKey, PlacementSweep, PlatformDataset
@@ -65,27 +68,58 @@ def run_sample_sweeps(
     )
 
 
+def _measure_placement(
+    platform: Platform,
+    config: SweepConfig,
+    core_counts: np.ndarray | None,
+    key: PlacementKey,
+) -> ModeCurves:
+    """One placement's sweep — top-level so process pools can pickle it."""
+    return _runner(config)(
+        platform.machine,
+        platform.profile,
+        m_comp=key[0],
+        m_comm=key[1],
+        config=config,
+        core_counts=core_counts,
+    )
+
+
 def run_placement_grid(
     platform: Platform,
     *,
     config: SweepConfig | None = None,
     core_counts: Sequence[int] | None = None,
+    jobs: int = 1,
+    executor_mode: str = "process",
 ) -> PlatformDataset:
-    """Measure every ``(m_comp, m_comm)`` placement combination."""
+    """Measure every ``(m_comp, m_comm)`` placement combination.
+
+    ``jobs > 1`` measures placements concurrently (``executor_mode``
+    selects processes or threads).  Measurement noise is keyed by the
+    measurement itself, never by call order, so the parallel grid is
+    bit-identical to the serial one.
+    """
     config = config or SweepConfig()
     if core_counts is not None:
         core_counts = as_core_counts(core_counts, error=BenchmarkError)
-    run = _runner(config)
-    curves = {}
-    for m_comp, m_comm in platform.machine.placements():
-        curves[(m_comp, m_comm)] = run(
-            platform.machine,
-            platform.profile,
-            m_comp=m_comp,
-            m_comm=m_comm,
-            config=config,
-            core_counts=core_counts,
+    placements = list(platform.machine.placements())
+    if jobs != 1 and len(placements) > 1:
+        # Imported here: repro.pipeline's stages import this module.
+        from repro.pipeline.executor import parallel_map
+
+        measured = parallel_map(
+            functools.partial(_measure_placement, platform, config, core_counts),
+            placements,
+            jobs=jobs,
+            mode=executor_mode,
         )
+        curves = dict(zip(placements, measured))
+    else:
+        curves = {
+            key: _measure_placement(platform, config, core_counts, key)
+            for key in placements
+        }
     return PlatformDataset(
         platform_name=platform.name,
         sweep=PlacementSweep(curves=curves),

@@ -34,21 +34,31 @@ Commands
     Run all platforms and verify the structural Table II claims.
 ``report [--output PATH]``
     Generate the full EXPERIMENTS.md report.
-``serve [--host H] [--port P]``
+``serve [--host H] [--port P] [--cache-dir D]``
     Run the contention-prediction service (docs/SERVICE.md).
 ``query <endpoint> ...``
     Query a running prediction service over HTTP.
+``cache ls|info|clear``
+    Inspect or clear the pipeline artifact cache (docs/PIPELINE.md).
+
+Experiment-running commands (``calibrate``, ``predict``, ``figure``,
+``table2``, ``advise``, ``overlap``, ``sensitivity``, ``diagnose``,
+``check``, ``report``) accept ``--cache-dir`` (reuse sweep/calibration
+artifacts across invocations; defaults to ``$REPRO_CACHE_DIR`` when
+set) and ``--jobs`` (parallel workers; 0 = one per CPU).
 
 Exit codes
 ----------
 ``0`` success; every :class:`~repro.errors.ReproError` subclass maps to
 its own code (see :data:`EXIT_CODES`) so scripts can tell a bad
-placement (7) from an unreachable service (11) without parsing stderr.
+placement (7) from an unreachable service (11) or a misused artifact
+cache (12) without parsing stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -63,6 +73,7 @@ from repro.errors import (
     CalibrationError,
     CommunicationError,
     ModelError,
+    PipelineError,
     PlacementError,
     ReproError,
     ServiceError,
@@ -102,6 +113,7 @@ EXIT_CODES: dict[type, int] = {
     CommunicationError: 9,
     AdvisorError: 10,
     ServiceError: 11,
+    PipelineError: 12,
 }
 
 
@@ -111,6 +123,19 @@ def exit_code_for(exc: ReproError) -> int:
         if cls in EXIT_CODES:
             return EXIT_CODES[cls]
     return 1
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> Path | None:
+    """``--cache-dir`` if given, else ``$REPRO_CACHE_DIR``, else None."""
+    if args.cache_dir is not None:
+        return args.cache_dir
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else None
+
+
+def _pipeline_kwargs(args: argparse.Namespace) -> dict:
+    """The pipeline keyword arguments an experiment-running command carries."""
+    return {"cache_dir": _resolve_cache_dir(args), "jobs": args.jobs}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +149,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="measurement noise seed")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Shared by every command that runs the staged pipeline.
+    pipeline_opts = argparse.ArgumentParser(add_help=False)
+    pipeline_opts.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="pipeline artifact cache directory "
+        "(defaults to $REPRO_CACHE_DIR when set)",
+    )
+    pipeline_opts.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel workers (0 = one per CPU)",
+    )
 
     sub.add_parser("platforms", help="list testbed platforms")
 
@@ -141,16 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--csv", type=Path, help="write curves to CSV")
 
-    p_cal = sub.add_parser("calibrate", help="print calibrated parameters")
+    p_cal = sub.add_parser(
+        "calibrate", parents=[pipeline_opts], help="print calibrated parameters"
+    )
     p_cal.add_argument("platform", choices=platform_names())
 
-    p_pred = sub.add_parser("predict", help="predict one configuration")
+    p_pred = sub.add_parser(
+        "predict", parents=[pipeline_opts], help="predict one configuration"
+    )
     p_pred.add_argument("platform", choices=platform_names())
     p_pred.add_argument("-n", "--cores", type=int, required=True)
     p_pred.add_argument("--comp", type=int, required=True, metavar="M_COMP")
     p_pred.add_argument("--comm", type=int, required=True, metavar="M_COMM")
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig = sub.add_parser(
+        "figure", parents=[pipeline_opts], help="regenerate a paper figure"
+    )
     p_fig.add_argument(
         "figure_id",
         choices=[k for k in EXPERIMENTS if k.startswith("fig")],
@@ -159,15 +206,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--svg", type=Path, help="render the figure to an SVG file")
 
     sub.add_parser("table1", help="regenerate Table I")
-    sub.add_parser("table2", help="regenerate Table II")
+    sub.add_parser(
+        "table2", parents=[pipeline_opts], help="regenerate Table II"
+    )
 
-    p_adv = sub.add_parser("advise", help="recommend cores and placement")
+    p_adv = sub.add_parser(
+        "advise", parents=[pipeline_opts], help="recommend cores and placement"
+    )
     p_adv.add_argument("platform", choices=platform_names())
     p_adv.add_argument("--comp-bytes", type=float, required=True)
     p_adv.add_argument("--comm-bytes", type=float, required=True)
     p_adv.add_argument("--top", type=int, default=5)
 
-    p_ovl = sub.add_parser("overlap", help="estimate overlap efficiency")
+    p_ovl = sub.add_parser(
+        "overlap", parents=[pipeline_opts], help="estimate overlap efficiency"
+    )
     p_ovl.add_argument("platform", choices=platform_names())
     p_ovl.add_argument("-n", "--cores", type=int, required=True)
     p_ovl.add_argument("--comp", type=int, required=True, metavar="M_COMP")
@@ -182,12 +235,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bot.add_argument("--comm", type=int, required=True, metavar="M_COMM")
 
     p_sens = sub.add_parser(
-        "sensitivity", help="rank parameters by prediction influence"
+        "sensitivity", parents=[pipeline_opts],
+        help="rank parameters by prediction influence",
     )
     p_sens.add_argument("platform", choices=platform_names())
 
     p_diag = sub.add_parser(
-        "diagnose", help="model-limits diagnosis for a platform"
+        "diagnose", parents=[pipeline_opts],
+        help="model-limits diagnosis for a platform",
     )
     p_diag.add_argument("platform", choices=platform_names())
 
@@ -203,13 +258,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("platform", choices=platform_names())
     p_exp.add_argument("--output", type=Path, help="write to file instead of stdout")
 
-    sub.add_parser("check", help="verify structural claims vs the paper")
+    sub.add_parser(
+        "check", parents=[pipeline_opts],
+        help="verify structural claims vs the paper",
+    )
 
-    p_rep = sub.add_parser("report", help="generate EXPERIMENTS.md")
+    p_rep = sub.add_parser(
+        "report", parents=[pipeline_opts], help="generate EXPERIMENTS.md"
+    )
     p_rep.add_argument("--output", type=Path, help="write to file instead of stdout")
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the pipeline artifact cache"
+    )
+    cache_opts = argparse.ArgumentParser(add_help=False)
+    cache_opts.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="pipeline artifact cache directory "
+        "(defaults to $REPRO_CACHE_DIR when set)",
+    )
+    csub = p_cache.add_subparsers(dest="cache_command", required=True)
+    csub.add_parser("ls", parents=[cache_opts], help="list cached artifacts")
+    c_info = csub.add_parser(
+        "info", parents=[cache_opts], help="show one entry's manifest"
+    )
+    c_info.add_argument(
+        "entry_id", metavar="ENTRY_ID", help="an id printed by `cache ls`"
+    )
+    csub.add_parser(
+        "clear", parents=[cache_opts], help="remove every cached artifact"
+    )
 
     p_serve = sub.add_parser(
         "serve", help="run the contention-prediction service"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="back calibrations with a pipeline artifact cache "
+        "(defaults to $REPRO_CACHE_DIR when set)",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
@@ -297,7 +387,9 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 def _cmd_calibrate(args: argparse.Namespace) -> str:
     platform = get_platform(args.platform)
-    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    result = run_platform_experiment(
+        platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     return (
         f"platform {platform.name}\n"
         f"local : {result.model.local.summary()}\n"
@@ -307,7 +399,9 @@ def _cmd_calibrate(args: argparse.Namespace) -> str:
 
 def _cmd_predict(args: argparse.Namespace) -> str:
     platform = get_platform(args.platform)
-    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    result = run_platform_experiment(
+        platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     model = result.model
     comp = model.comp_parallel(args.cores, args.comp, args.comm)
     comm = model.comm_parallel(args.cores, args.comp, args.comm)
@@ -324,7 +418,9 @@ def _cmd_predict(args: argparse.Namespace) -> str:
 def _cmd_figure(args: argparse.Namespace) -> str:
     if args.figure_id == "fig2":
         result = run_platform_experiment(
-            "henri-subnuma", config=SweepConfig(seed=args.seed)
+            "henri-subnuma",
+            config=SweepConfig(seed=args.seed),
+            **_pipeline_kwargs(args),
         )
         from repro.evaluation.figures import ascii_chart, stacked_figure
 
@@ -344,7 +440,9 @@ def _cmd_figure(args: argparse.Namespace) -> str:
         )
         return chart + "\nAnnotated points:\n" + points
     platform_name = figure_platform(args.figure_id)
-    result = run_platform_experiment(platform_name, config=SweepConfig(seed=args.seed))
+    result = run_platform_experiment(
+        platform_name, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     if args.csv:
         args.csv.write_text(series_to_csv(figure_series(result)))
         return f"wrote {args.csv}"
@@ -361,13 +459,17 @@ def _cmd_table1(_args: argparse.Namespace) -> str:
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
-    results = run_all_experiments(config=SweepConfig(seed=args.seed))
+    results = run_all_experiments(
+        config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     return render_table2(results)
 
 
 def _cmd_advise(args: argparse.Namespace) -> str:
     platform = get_platform(args.platform)
-    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    result = run_platform_experiment(
+        platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     advisor = Advisor(result.model, platform.machine)
     workload = Workload(comp_bytes=args.comp_bytes, comm_bytes=args.comm_bytes)
     recs = advisor.recommend(workload, top=args.top)
@@ -380,7 +482,9 @@ def _cmd_overlap(args: argparse.Namespace) -> str:
     from repro.advisor import Workload, estimate_overlap
 
     platform = get_platform(args.platform)
-    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    result = run_platform_experiment(
+        platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     estimate = estimate_overlap(
         result.model,
         Workload(comp_bytes=args.comp_bytes, comm_bytes=args.comm_bytes),
@@ -417,7 +521,9 @@ def _cmd_sensitivity(args: argparse.Namespace) -> str:
     from repro.core import parameter_sensitivity
 
     platform = get_platform(args.platform)
-    result = run_platform_experiment(platform, config=SweepConfig(seed=args.seed))
+    result = run_platform_experiment(
+        platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     ns = np.arange(1, platform.cores_per_socket + 1)
     sensitivity = parameter_sensitivity(result.model.local, core_counts=ns)
     lines = [
@@ -437,7 +543,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> str:
     from repro.evaluation import render_diagnosis
 
     result = run_platform_experiment(
-        args.platform, config=SweepConfig(seed=args.seed)
+        args.platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
     )
     return render_diagnosis(result)
 
@@ -480,17 +586,57 @@ def _cmd_export_platform(args: argparse.Namespace) -> str:
 def _cmd_check(args: argparse.Namespace) -> str:
     from repro.evaluation.compare import render_comparison
 
-    results = run_all_experiments(config=SweepConfig(seed=args.seed))
+    results = run_all_experiments(
+        config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     return render_comparison(results)
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
-    results = run_all_experiments(config=SweepConfig(seed=args.seed))
+    results = run_all_experiments(
+        config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
+    )
     report = generate_experiments_report(results)
     if args.output:
         args.output.write_text(report)
         return f"wrote {args.output}"
     return report
+
+
+def _cmd_cache(args: argparse.Namespace) -> str:
+    from repro.pipeline.store import ArtifactStore
+
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        raise PipelineError(
+            "no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR"
+        )
+    store = ArtifactStore(cache_dir)
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            return f"cache {store.root}: empty"
+        lines = [
+            f"cache {store.root}: {len(entries)} entries",
+            f"{'entry':<56} {'files':>5} {'bytes':>9} {'hits':>5}",
+        ]
+        for info in entries:
+            lines.append(
+                f"{info.entry_id:<56} {info.n_files:>5} "
+                f"{info.payload_bytes:>9} {info.hits:>5}"
+            )
+        return "\n".join(lines)
+    if args.cache_command == "info":
+        import json as _json
+
+        key = store.find(args.entry_id)
+        manifest = store.manifest(key)
+        manifest["hits_recorded"] = store.hits_recorded(key)
+        return _json.dumps(manifest, indent=2, sort_keys=True)
+    if args.cache_command == "clear":
+        removed = store.clear()
+        return f"cache {store.root}: removed {removed} entries"
+    raise PipelineError(f"unknown cache command {args.cache_command!r}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
@@ -499,6 +645,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     from repro.service.server import ContentionService
 
+    cache_dir = _resolve_cache_dir(args)
+
     async def _serve() -> None:
         service = ContentionService(
             host=args.host,
@@ -506,6 +654,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             request_timeout_s=args.timeout,
             max_concurrency=args.max_concurrency,
             batching=not args.no_batching,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
         )
         await service.start()
         loop = asyncio.get_running_loop()
@@ -605,6 +754,7 @@ _COMMANDS = {
     "export-platform": _cmd_export_platform,
     "check": _cmd_check,
     "report": _cmd_report,
+    "cache": _cmd_cache,
     "serve": _cmd_serve,
     "query": _cmd_query,
 }

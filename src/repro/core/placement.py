@@ -250,16 +250,17 @@ class PlacementModel:
                     f"batch queries must be (n, m_comp, m_comm) triples, "
                     f"got {query!r}"
                 )
-            _, m_comp, m_comm = query
+            n, m_comp, m_comm = query
+            self._check_batch_count(n, index)
             groups.setdefault((m_comp, m_comm), []).append(index)
-        out: list[PointPrediction | None] = [None] * len(queries)
+        results: dict[int, PointPrediction] = {}
         for (m_comp, m_comm), indices in groups.items():
             ns = as_core_counts(
                 [queries[i][0] for i in indices], error=PlacementError
             )
             pred = self.predict(ns, m_comp, m_comm)
             for j, i in enumerate(indices):
-                out[i] = PointPrediction(
+                results[i] = PointPrediction(
                     n=int(ns[j]),
                     m_comp=m_comp,
                     m_comm=m_comm,
@@ -268,7 +269,36 @@ class PlacementModel:
                     comp_alone=float(pred.comp_alone[j]),
                     comm_alone=float(pred.comm_alone),
                 )
-        return out  # type: ignore[return-value]
+        return [results[i] for i in range(len(queries))]
+
+    @staticmethod
+    def _check_batch_count(n: object, index: int) -> None:
+        """Validate one query's core count, naming the offending query.
+
+        Booleans are rejected explicitly: ``True`` is an ``int`` in
+        Python and would otherwise silently mean 1 core.
+        """
+        if isinstance(n, (bool, np.bool_)):
+            raise PlacementError(
+                f"batch query {index}: core count must be an integer, "
+                f"got {n!r}"
+            )
+        if isinstance(n, (float, np.floating)):
+            if not (np.isfinite(n) and float(n) == int(n)):
+                raise PlacementError(
+                    f"batch query {index}: core count must be integral, "
+                    f"got {n!r}"
+                )
+            n = int(n)
+        if not isinstance(n, (int, np.integer)):
+            raise PlacementError(
+                f"batch query {index}: core count must be an integer, "
+                f"got {n!r}"
+            )
+        if n < 0:
+            raise PlacementError(
+                f"batch query {index}: core count must be >= 0, got {int(n)}"
+            )
 
     # ---- helpers --------------------------------------------------------------
 

@@ -19,6 +19,7 @@ __all__ = [
     "CommunicationError",
     "AdvisorError",
     "ServiceError",
+    "PipelineError",
 ]
 
 
@@ -64,3 +65,12 @@ class AdvisorError(ReproError):
 
 class ServiceError(ReproError):
     """Raised by the prediction service for malformed or unservable requests."""
+
+
+class PipelineError(ReproError):
+    """Raised when the staged pipeline or its artifact store is misused.
+
+    Cache *corruption* never raises: a corrupted, truncated, or
+    version-mismatched entry is logged, discarded, and recomputed.  This
+    error covers genuine misuse — an unusable store root, an invalid
+    parallelism request, an unknown cache entry named on the CLI."""

@@ -52,10 +52,17 @@ _ERROR_KEYS = (
 
 
 def save_experiment(result: ExperimentResult, directory: Path | str) -> Path:
-    """Write ``result`` under ``directory`` (created if needed)."""
+    """Write ``result`` under ``directory`` (created if needed).
+
+    The dataset is archived at full float precision (the same
+    round-trip contract the pipeline artifact store relies on), so
+    recalibrating from an archive reproduces the model bit for bit.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    (directory / "dataset.csv").write_text(result.dataset.to_csv())
+    (directory / "dataset.csv").write_text(
+        result.dataset.to_csv(full_precision=True)
+    )
     (directory / "model_local.json").write_text(result.model.local.to_json())
     (directory / "model_remote.json").write_text(result.model.remote.to_json())
     errors = result.errors

@@ -3,23 +3,28 @@
 :func:`run_platform_experiment` is the full §IV pipeline for one
 platform: measure every placement on the simulated testbed, calibrate
 the model from the two sample placements only, predict every placement,
-and score the predictions.  The :data:`EXPERIMENTS` registry maps each
-figure/table of the paper to what regenerates it.
+and score the predictions.  Both runners are thin consumers of the
+staged pipeline layer (:mod:`repro.pipeline`): pass ``cache_dir`` to
+reuse sweep/calibration artifacts across runs and ``jobs`` to fan
+independent work out across workers.  The :data:`EXPERIMENTS` registry
+maps each figure/table of the paper to what regenerates it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
 
 from repro.bench.config import SweepConfig
 from repro.bench.results import PlacementKey, PlatformDataset
-from repro.bench.sweep import run_placement_grid, sample_placements
-from repro.core.calibration import calibrate_placement_model
 from repro.core.placement import PlacementModel, PlacementPrediction
 from repro.errors import ReproError
-from repro.evaluation.metrics import ErrorBreakdown, placement_errors
-from repro.topology.platforms import Platform, get_platform, platform_names
+from repro.evaluation.metrics import ErrorBreakdown
+from repro.topology.platforms import Platform
+
+if TYPE_CHECKING:
+    from repro.pipeline.store import ArtifactStore
 
 __all__ = [
     "ExperimentResult",
@@ -45,41 +50,55 @@ def run_platform_experiment(
     platform: Platform | str,
     *,
     config: SweepConfig | None = None,
+    cache_dir: Path | str | None = None,
+    store: "ArtifactStore | None" = None,
+    jobs: int = 1,
+    executor_mode: str = "process",
 ) -> ExperimentResult:
-    """Run the full §IV pipeline for one platform."""
-    if isinstance(platform, str):
-        platform = get_platform(platform)
-    config = config or SweepConfig()
+    """Run the full §IV pipeline for one platform.
 
-    dataset = run_placement_grid(platform, config=config)
-    model = calibrate_placement_model(dataset, platform)
-    # Every placement shares the same measured core-count axis, so the
-    # whole grid is one batched pass over the evaluation layer.
-    first = next(iter(dataset.sweep))
-    predictions = model.predict_grid(
-        dataset.sweep[first].core_counts, list(dataset.sweep)
-    )
-    samples = sample_placements(platform)
-    errors = placement_errors(dataset, model, samples)
-    return ExperimentResult(
-        platform=platform,
-        dataset=dataset,
-        model=model,
-        predictions=predictions,
-        errors=errors,
-        sample_keys=samples,
-    )
+    With ``cache_dir`` (or an explicit ``store``) the sweep and
+    calibration artifacts are reused across runs — a warm run skips
+    both and is bit-identical to a cold one.  ``jobs > 1`` measures
+    placements concurrently.
+    """
+    # Imported here: repro.pipeline composes the stages defined around
+    # this module, so the dependency must stay one-way at import time.
+    from repro.pipeline.runner import run_platform_pipeline
+
+    return run_platform_pipeline(
+        platform,
+        config=config,
+        cache_dir=cache_dir,
+        store=store,
+        jobs=jobs,
+        executor_mode=executor_mode,
+    ).result
 
 
 def run_all_experiments(
     *,
     config: SweepConfig | None = None,
+    cache_dir: Path | str | None = None,
+    store: "ArtifactStore | None" = None,
+    jobs: int = 1,
+    executor_mode: str = "process",
 ) -> dict[str, ExperimentResult]:
-    """Run every testbed platform (the full Table II), in Table I order."""
-    return {
-        name: run_platform_experiment(name, config=config)
-        for name in platform_names()
-    }
+    """Run every testbed platform (the full Table II), in Table I order.
+
+    ``jobs`` fans platforms out across workers; the output is
+    bit-identical to the serial path regardless of ``jobs``.
+    """
+    from repro.pipeline.runner import run_all_pipelines
+
+    runs = run_all_pipelines(
+        config=config,
+        cache_dir=cache_dir,
+        store=store,
+        jobs=jobs,
+        executor_mode=executor_mode,
+    )
+    return {name: run.result for name, run in runs.items()}
 
 
 @dataclass(frozen=True)

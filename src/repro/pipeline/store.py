@@ -1,0 +1,357 @@
+"""Content-addressed on-disk store for pipeline artifacts.
+
+Layout: one directory per artifact, addressed by its
+:class:`~repro.pipeline.stage.StageKey`::
+
+    <root>/<platform>/<stage>-v<version>-<fingerprint>/
+        manifest.json     # provenance: key, config, file checksums
+        <payload files>   # whatever the stage serialised (CSV/JSON text)
+        stats.json        # sidecar hit counter (not covered by checksums)
+
+Guarantees:
+
+* **Atomic writes** — payloads and manifest are written to a temporary
+  directory under ``<root>/.tmp`` and renamed into place.  Readers never
+  observe a half-written entry; when two writers race, the first rename
+  wins and the loser quietly discards its copy (both computed the same
+  bytes — keys are content fingerprints).
+* **Verified reads** — a manifest that fails to parse, names a missing
+  file, carries the wrong format/stage version, or whose payload
+  checksums do not match is *never served*: the entry is logged,
+  discarded, and the caller recomputes.  Corruption can cost time, not
+  correctness.
+* **Bit-identical reload** — payloads are UTF-8 text produced by the
+  stages' full-precision serialisers, so a warm run reconstructs the
+  exact float64 values of the cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import PipelineError
+from repro.pipeline.stage import StageKey
+
+__all__ = ["ArtifactStore", "EntryInfo", "StoreStats", "MANIFEST_VERSION"]
+
+log = logging.getLogger("repro.pipeline")
+
+#: Bumped whenever the manifest schema changes; older entries are
+#: discarded and recomputed rather than misread.
+MANIFEST_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_STATS = "stats.json"
+_TMP = ".tmp"
+
+
+@dataclass
+class StoreStats:
+    """In-process counters of one store handle (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discards: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "discards": self.discards,
+        }
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One stored artifact, as listed by ``repro cache ls``."""
+
+    key: StageKey
+    n_files: int
+    payload_bytes: int
+    hits: int
+    created_unix: float
+
+    @property
+    def entry_id(self) -> str:
+        return self.key.entry_id
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed artifact cache rooted at one directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self._root = Path(root).expanduser()
+        if self._root.exists() and not self._root.is_dir():
+            raise PipelineError(
+                f"artifact store root {self._root} exists and is not a directory"
+            )
+        try:
+            self._root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PipelineError(
+                f"cannot create artifact store root {self._root}: {exc}"
+            ) from exc
+        self.stats = StoreStats()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _entry_dir(self, key: StageKey) -> Path:
+        return self._root / key.platform / key.entry_name
+
+    # ---- reads -----------------------------------------------------------------
+
+    def load(self, key: StageKey) -> dict[str, str] | None:
+        """The verified payloads of ``key``, or ``None`` to recompute.
+
+        Never raises for a bad entry: corruption of any kind (unparsable
+        or truncated manifest, missing payload file, checksum mismatch,
+        wrong manifest/stage version, key mismatch) discards the entry
+        and reports a miss.
+        """
+        entry = self._entry_dir(key)
+        manifest_path = entry / _MANIFEST
+        if not manifest_path.is_file():
+            self.stats.misses += 1
+            return None
+        try:
+            payloads = self._read_verified(entry, key)
+        except (OSError, ValueError) as exc:
+            log.warning(
+                "discarding corrupt cache entry %s: %s", key.entry_id, exc
+            )
+            self._discard_dir(entry)
+            self.stats.discards += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._bump_hits(entry)
+        return payloads
+
+    def _read_verified(self, entry: Path, key: StageKey) -> dict[str, str]:
+        """Read and verify one entry; raises ValueError/OSError on any defect."""
+        try:
+            manifest = json.loads((entry / _MANIFEST).read_text("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"manifest is not valid JSON ({exc})") from exc
+        if not isinstance(manifest, dict):
+            raise ValueError("manifest is not a JSON object")
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"manifest version {manifest.get('manifest_version')!r} != "
+                f"{MANIFEST_VERSION}"
+            )
+        recorded = manifest.get("key", {})
+        expected = {
+            "platform": key.platform,
+            "stage": key.stage,
+            "stage_version": key.version,
+            "fingerprint": key.fingerprint,
+        }
+        if recorded != expected:
+            raise ValueError(f"manifest key {recorded!r} != {expected!r}")
+        files = manifest.get("files")
+        if not isinstance(files, dict) or not files:
+            raise ValueError("manifest lists no payload files")
+        payloads: dict[str, str] = {}
+        for name, meta in files.items():
+            path = entry / name
+            if not path.is_file():
+                raise ValueError(f"payload file {name!r} is missing")
+            # Exact bytes: universal-newline translation would silently
+            # alter CSV payloads (csv emits \r\n) and break checksums.
+            text = path.read_bytes().decode("utf-8")
+            if not isinstance(meta, dict) or "sha256" not in meta:
+                raise ValueError(f"payload file {name!r} has no checksum")
+            if _sha256(text) != meta["sha256"]:
+                raise ValueError(f"payload file {name!r} fails its checksum")
+            payloads[name] = text
+        return payloads
+
+    # ---- writes ----------------------------------------------------------------
+
+    def save(
+        self,
+        key: StageKey,
+        payloads: Mapping[str, str],
+        *,
+        provenance: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Atomically persist ``payloads`` under ``key``.
+
+        ``provenance`` (e.g. the full sweep-config dict) is embedded in
+        the manifest for humans and ``repro cache info``; it is not part
+        of the address — the key already fingerprints it.
+        """
+        if not payloads:
+            raise PipelineError(f"refusing to store empty artifact {key.entry_id}")
+        for name in payloads:
+            if "/" in name or name.startswith(".") or name in (_MANIFEST, _STATS):
+                raise PipelineError(f"invalid payload file name {name!r}")
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "key": {
+                "platform": key.platform,
+                "stage": key.stage,
+                "stage_version": key.version,
+                "fingerprint": key.fingerprint,
+            },
+            "provenance": dict(provenance or {}),
+            "created_unix": time.time(),
+            "files": {
+                name: {"sha256": _sha256(text), "bytes": len(text.encode("utf-8"))}
+                for name, text in payloads.items()
+            },
+        }
+        tmp_root = self._root / _TMP
+        tmp_root.mkdir(parents=True, exist_ok=True)
+        tmp_dir = Path(tempfile.mkdtemp(dir=tmp_root, prefix=key.stage))
+        try:
+            for name, text in payloads.items():
+                (tmp_dir / name).write_bytes(text.encode("utf-8"))
+            (tmp_dir / _MANIFEST).write_bytes(
+                json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
+            )
+            destination = self._entry_dir(key)
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                tmp_dir.rename(destination)
+            except OSError:
+                # A concurrent writer already published this key.  Both
+                # computed the same content-addressed bytes: theirs is
+                # as good as ours.
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+                return
+        except Exception:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+            raise
+        self.stats.stores += 1
+
+    def discard(self, key: StageKey) -> bool:
+        """Remove one entry; True if it existed."""
+        entry = self._entry_dir(key)
+        existed = entry.exists()
+        if existed:
+            self._discard_dir(entry)
+            self.stats.discards += 1
+        return existed
+
+    @staticmethod
+    def _discard_dir(entry: Path) -> None:
+        shutil.rmtree(entry, ignore_errors=True)
+
+    # ---- persistent hit counter -------------------------------------------------
+
+    def _bump_hits(self, entry: Path) -> None:
+        """Best-effort persistent hit counter, outside the checksummed set.
+
+        The counter is evidence for smoke tests and ``repro cache info``
+        ("did the second run actually hit?"), so losing an increment to
+        a rare race is acceptable; corrupting the entry is not — hence a
+        sidecar file the manifest does not cover, written atomically.
+        """
+        stats_path = entry / _STATS
+        try:
+            hits = self.entry_hits(entry)
+            with tempfile.NamedTemporaryFile(
+                "w", dir=entry, delete=False, suffix=".tmp", encoding="utf-8"
+            ) as handle:
+                json.dump({"hits": hits + 1}, handle)
+                temp_name = handle.name
+            Path(temp_name).replace(stats_path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def entry_hits(entry: Path) -> int:
+        try:
+            data = json.loads((entry / _STATS).read_text("utf-8"))
+            return int(data.get("hits", 0))
+        except (OSError, ValueError):
+            return 0
+
+    def hits_recorded(self, key: StageKey) -> int:
+        """Persistent hit count of one entry (0 if absent)."""
+        return self.entry_hits(self._entry_dir(key))
+
+    # ---- inspection ------------------------------------------------------------
+
+    def manifest(self, key: StageKey) -> dict[str, Any]:
+        """The raw manifest of one entry (for ``repro cache info``)."""
+        path = self._entry_dir(key) / _MANIFEST
+        if not path.is_file():
+            raise PipelineError(f"no cache entry {key.entry_id}")
+        try:
+            return json.loads(path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PipelineError(
+                f"cache entry {key.entry_id} has an unreadable manifest: {exc}"
+            ) from exc
+
+    def entries(self) -> list[EntryInfo]:
+        """Every readable entry, sorted by id; unreadable ones are skipped."""
+        found: list[EntryInfo] = []
+        for manifest_path in sorted(self._root.glob(f"*/*/{_MANIFEST}")):
+            entry = manifest_path.parent
+            try:
+                manifest = json.loads(manifest_path.read_text("utf-8"))
+                recorded = manifest["key"]
+                key = StageKey(
+                    platform=recorded["platform"],
+                    stage=recorded["stage"],
+                    version=recorded["stage_version"],
+                    fingerprint=recorded["fingerprint"],
+                )
+                files = manifest["files"]
+                found.append(
+                    EntryInfo(
+                        key=key,
+                        n_files=len(files),
+                        payload_bytes=sum(
+                            int(meta.get("bytes", 0)) for meta in files.values()
+                        ),
+                        hits=self.entry_hits(entry),
+                        created_unix=float(manifest.get("created_unix", 0.0)),
+                    )
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                log.warning("skipping unreadable cache entry %s", entry)
+        return found
+
+    def find(self, entry_id: str) -> StageKey:
+        """Resolve an id printed by ``repro cache ls`` back to a key."""
+        for info in self.entries():
+            if info.entry_id == entry_id:
+                return info.key
+        raise PipelineError(
+            f"no cache entry {entry_id!r} in {self._root} "
+            "(ids are printed by `repro cache ls`)"
+        )
+
+    def clear(self) -> int:
+        """Remove every entry (and stray temp dirs); returns entries removed."""
+        removed = 0
+        for manifest_path in self._root.glob(f"*/*/{_MANIFEST}"):
+            self._discard_dir(manifest_path.parent)
+            removed += 1
+        shutil.rmtree(self._root / _TMP, ignore_errors=True)
+        for platform_dir in self._root.iterdir() if self._root.is_dir() else ():
+            if platform_dir.is_dir() and not any(platform_dir.iterdir()):
+                platform_dir.rmdir()
+        self.stats.discards += removed
+        return removed

@@ -17,8 +17,10 @@ instances by ``(platform, seed)`` and
 from __future__ import annotations
 
 import asyncio
+import functools
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.bench.config import SweepConfig
@@ -48,13 +50,20 @@ class ModelEntry:
     error_average_pct: float = field(default=float("nan"))
 
 
-def _default_calibrator(key: ModelKey) -> ModelEntry:
-    """The full §IV pipeline: sweep, calibrate, score."""
+def _default_calibrator(
+    key: ModelKey, cache_dir: Path | str | None = None
+) -> ModelEntry:
+    """The full §IV pipeline: sweep, calibrate, score.
+
+    With ``cache_dir`` the pipeline's artifact store backs the run, so
+    a service restart (or a sibling process) reuses the persisted sweep
+    and calibration instead of recomputing them.
+    """
     # Imported lazily: evaluation pulls the whole bench stack.
     from repro.evaluation.experiments import run_platform_experiment
 
     result = run_platform_experiment(
-        key.platform, config=SweepConfig(seed=key.seed)
+        key.platform, config=SweepConfig(seed=key.seed), cache_dir=cache_dir
     )
     return ModelEntry(
         key=key,
@@ -73,12 +82,17 @@ class ModelRegistry:
         max_entries: int = 16,
         metrics: ServiceMetrics | None = None,
         calibrator: Callable[[ModelKey], ModelEntry] | None = None,
+        cache_dir: Path | str | None = None,
     ) -> None:
         if max_entries < 1:
             raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
+        if calibrator is not None and cache_dir is not None:
+            raise ServiceError("pass either calibrator or cache_dir, not both")
         self._max_entries = max_entries
         self._metrics = metrics or ServiceMetrics()
-        self._calibrator = calibrator or _default_calibrator
+        self._calibrator = calibrator or functools.partial(
+            _default_calibrator, cache_dir=cache_dir
+        )
         self._entries: "OrderedDict[ModelKey, ModelEntry]" = OrderedDict()
         self._pending: dict[ModelKey, asyncio.Task] = {}
 

@@ -76,7 +76,10 @@ class ContentionService:
         drain_timeout_s: float = 10.0,
         batch_window_s: float = 0.0,
         batching: bool = True,
+        cache_dir: "str | None" = None,
     ) -> None:
+        if registry is not None and cache_dir is not None:
+            raise ServiceError("pass either registry or cache_dir, not both")
         self._host = host
         self._port = port
         self.metrics = metrics or (
@@ -86,7 +89,7 @@ class ContentionService:
         self.registry = (
             registry
             if registry is not None
-            else ModelRegistry(metrics=self.metrics)
+            else ModelRegistry(metrics=self.metrics, cache_dir=cache_dir)
         )
         self.batcher: PredictBatcher | None = (
             PredictBatcher(window_s=batch_window_s, metrics=self.metrics)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import ContentionModel, ModelParameters, PlacementModel
+from repro.core.placement import PointPrediction
 from repro.errors import PlacementError
 
 LOCAL = ModelParameters(
@@ -194,3 +195,29 @@ class TestPredictBatch:
             model.predict_batch([(4, 0, 0), (4, 0, 9)])
         with pytest.raises(PlacementError, match="triples"):
             model.predict_batch([(4, 0)])
+
+    def test_per_query_core_count_validation(self, model):
+        """Bad n values are rejected up front, naming the offending query."""
+        with pytest.raises(PlacementError, match="batch query 1"):
+            model.predict_batch([(4, 0, 0), (2.5, 0, 0)])
+        with pytest.raises(PlacementError, match="batch query 0"):
+            model.predict_batch([(float("nan"), 0, 0)])
+        with pytest.raises(PlacementError, match="batch query 2"):
+            model.predict_batch([(4, 0, 0), (2, 0, 0), (-1, 0, 0)])
+        with pytest.raises(PlacementError, match="batch query 0"):
+            model.predict_batch([("4", 0, 0)])
+
+    def test_bool_core_count_rejected(self, model):
+        # True is an int in Python; silently meaning "1 core" would be
+        # a caller bug answered with a plausible number.
+        with pytest.raises(PlacementError, match="batch query 0"):
+            model.predict_batch([(True, 0, 0)])
+
+    def test_integral_float_accepted(self, model):
+        point = model.predict_batch([(4.0, 0, 0)])[0]
+        assert point.n == 4
+        assert point.comp_parallel == model.comp_parallel(4, 0, 0)
+
+    def test_every_slot_is_a_prediction(self, model):
+        results = model.predict_batch([(4, 0, 0), (8, 1, 2), (2, 3, 3)])
+        assert all(isinstance(r, PointPrediction) for r in results)

@@ -225,12 +225,78 @@ class TestExitCodes:
         assert "cannot reach service" in capsys.readouterr().err
 
 
+class TestCacheCommand:
+    def test_missing_cache_dir_exits_12(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(["cache", "ls"])
+        assert code == EXIT_CODES[errors.PipelineError] == 12
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_ls_info_clear_round_trip(self, tmp_path, capsys):
+        # Populate the cache through an experiment-running command.
+        assert main(
+            ["calibrate", "henri", "--cache-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "henri/measure-v" in out and "henri/calibrate-v" in out
+        entry_id = next(
+            line.split()[0]
+            for line in out.splitlines()
+            if line.startswith("henri/calibrate")
+        )
+
+        assert main(
+            ["cache", "info", entry_id, "--cache-dir", str(tmp_path)]
+        ) == 0
+        manifest = out = capsys.readouterr().out
+        assert '"stage": "calibrate"' in manifest
+        assert '"sweep_config"' in manifest
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+
+    def test_info_unknown_entry_exits_12(self, tmp_path, capsys):
+        code = main(
+            ["cache", "info", "nope/measure-v1-feed", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 12
+        assert "no cache entry" in capsys.readouterr().err
+
+    def test_env_var_fallback(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_warm_cli_run_is_identical(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(["predict", "henri", "-n", "8", "--comp", "0",
+                     "--comm", "1", *cache]) == 0
+        cold = capsys.readouterr().out
+        assert main(["predict", "henri", "-n", "8", "--comp", "0",
+                     "--comm", "1", *cache]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_jobs_flag_parses(self):
+        args = build_parser().parse_args(["table2", "--jobs", "0"])
+        assert args.jobs == 0
+        assert args.cache_dir is None
+
+
 class TestServeQueryParsing:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.command == "serve"
         assert args.port == 8080 and args.host == "127.0.0.1"
         assert not args.no_batching
+        assert args.cache_dir is None
 
     def test_query_requires_subcommand(self):
         with pytest.raises(SystemExit):

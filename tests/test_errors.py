@@ -17,6 +17,8 @@ from repro import errors
         errors.BenchmarkError,
         errors.CommunicationError,
         errors.AdvisorError,
+        errors.ServiceError,
+        errors.PipelineError,
     ],
 )
 def test_derives_from_repro_error(exc):
