@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Tracing smoke test: ``--trace`` captures a pipeline run end to end.
+
+Drives the real CLI (``python -m repro``) as subprocesses and checks
+the observability layer across process boundaries:
+
+1. a cold cached ``calibrate`` run with ``--trace run.jsonl`` writes a
+   parseable JSONL trace whose spans cover all four pipeline stages and
+   whose counters record the cache misses/stores,
+2. a warm rerun's trace records the cache hits instead,
+3. ``repro trace summarize`` renders the per-stage time table (exit 0),
+4. a ``--trace run.json`` rerun writes a loadable Chrome trace-event
+   file (``{"traceEvents": [...]}``).
+
+CI runs this exact script as its trace smoke test; run it yourself
+with::
+
+    PYTHONPATH=src python examples/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PLATFORM = "occigen"
+STAGES = ("measure", "calibrate", "predict", "score")
+
+
+def repro(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+    )
+
+
+def check(proc: subprocess.CompletedProcess, label: str) -> str:
+    if proc.returncode != 0:
+        sys.exit(
+            f"FAIL {label}: exit {proc.returncode}\n"
+            f"stdout: {proc.stdout[-2000:]}\nstderr: {proc.stderr[-2000:]}"
+        )
+    print(f"ok: {label}")
+    return proc.stdout
+
+
+def load_trace(path: Path) -> tuple[set, dict]:
+    """Span names and counter totals of a JSONL trace file."""
+    names, totals = set(), {}
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        record = json.loads(line)  # every line must be valid JSON
+        if record.get("type") == "span":
+            names.add(record["name"])
+        elif record.get("type") == "counter":
+            name = record["name"]
+            totals[name] = totals.get(name, 0) + record["value"]
+    return names, totals
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ["--cache-dir", str(Path(tmp) / "cache")]
+        jsonl = Path(tmp) / "run.jsonl"
+
+        # 1. Cold traced run: all four stages + cache misses on record.
+        check(
+            repro("calibrate", PLATFORM, *cache, "--trace", str(jsonl)),
+            "cold traced calibrate",
+        )
+        names, totals = load_trace(jsonl)
+        missing = [s for s in STAGES if f"pipeline.{s}" not in names]
+        if missing:
+            sys.exit(f"FAIL: trace missing stage spans {missing}: {names}")
+        if not totals.get("store.miss") or not totals.get("store.store"):
+            sys.exit(f"FAIL: cold run recorded no misses/stores: {totals}")
+        print("ok: cold trace covers all stages and cache misses")
+
+        # 2. Warm rerun: the trace shows the hits.
+        check(
+            repro("calibrate", PLATFORM, *cache, "--trace", str(jsonl)),
+            "warm traced calibrate",
+        )
+        _names, totals = load_trace(jsonl)
+        if totals.get("store.hit", 0) < 2:
+            sys.exit(f"FAIL: warm run recorded no cache hits: {totals}")
+        print("ok: warm trace records cache hits")
+
+        # 3. The summarize command renders the table.
+        summary = check(
+            repro("trace", "summarize", str(jsonl)), "trace summarize"
+        )
+        if "pipeline.calibrate" not in summary or "wall %" not in summary:
+            sys.exit(f"FAIL: unexpected summary output:\n{summary}")
+
+        # 4. A .json path produces a loadable Chrome trace.
+        chrome = Path(tmp) / "run.json"
+        check(
+            repro("calibrate", PLATFORM, "--trace", str(chrome)),
+            "chrome traced calibrate",
+        )
+        trace = json.loads(chrome.read_text())
+        events = trace.get("traceEvents")
+        if not isinstance(events, list) or not any(
+            e.get("ph") == "X" for e in events
+        ):
+            sys.exit("FAIL: chrome trace has no complete events")
+        print(f"ok: chrome trace loads ({len(events)} events)")
+
+    print("trace smoke test passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import logging
+
 import numpy as np
 
 from repro.core.evaluation import as_core_counts
@@ -28,6 +30,8 @@ from repro.errors import AdvisorError
 from repro.topology.objects import Machine
 
 __all__ = ["Workload", "Recommendation", "Advisor"]
+
+log = logging.getLogger("repro.advisor")
 
 
 @dataclass(frozen=True)

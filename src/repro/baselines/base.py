@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import abc
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.bench.results import ModeCurves
 from repro.errors import ModelError
+
+log = logging.getLogger("repro.baselines")
 
 __all__ = ["BaselineInputs", "BaselinePredictor", "calibrate_baseline"]
 

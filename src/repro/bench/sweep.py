@@ -9,6 +9,7 @@ former, :func:`run_placement_grid` the latter.
 from __future__ import annotations
 
 import functools
+import logging
 from typing import Callable, Sequence
 
 import numpy as np
@@ -18,9 +19,12 @@ from repro.bench.results import ModeCurves, PlacementKey, PlacementSweep, Platfo
 from repro.bench.runner import measure_curves, measure_curves_engine
 from repro.core.evaluation import as_core_counts
 from repro.errors import BenchmarkError
+from repro.obs import span
 from repro.topology.platforms import Platform
 
 __all__ = ["run_placement_grid", "run_sample_sweeps", "sample_placements"]
+
+log = logging.getLogger("repro.bench")
 
 
 def sample_placements(platform: Platform) -> tuple[PlacementKey, PlacementKey]:
@@ -75,14 +79,20 @@ def _measure_placement(
     key: PlacementKey,
 ) -> ModeCurves:
     """One placement's sweep — top-level so process pools can pickle it."""
-    return _runner(config)(
-        platform.machine,
-        platform.profile,
+    with span(
+        "sweep.placement",
+        platform=platform.name,
         m_comp=key[0],
         m_comm=key[1],
-        config=config,
-        core_counts=core_counts,
-    )
+    ):
+        return _runner(config)(
+            platform.machine,
+            platform.profile,
+            m_comp=key[0],
+            m_comm=key[1],
+            config=config,
+            core_counts=core_counts,
+        )
 
 
 def run_placement_grid(
@@ -104,22 +114,40 @@ def run_placement_grid(
     if core_counts is not None:
         core_counts = as_core_counts(core_counts, error=BenchmarkError)
     placements = list(platform.machine.placements())
-    if jobs != 1 and len(placements) > 1:
-        # Imported here: repro.pipeline's stages import this module.
-        from repro.pipeline.executor import parallel_map
+    log.debug(
+        "sweeping %d placements of %s (jobs=%s, mode=%s)",
+        len(placements),
+        platform.name,
+        jobs,
+        executor_mode,
+    )
+    with span(
+        "sweep.grid",
+        platform=platform.name,
+        placements=len(placements),
+        jobs=jobs,
+    ):
+        if jobs != 1 and len(placements) > 1:
+            # Imported here: repro.pipeline's stages import this module.
+            # Per-placement spans are recorded inside the workers (lost
+            # for process pools, laned by tid for thread pools); the
+            # parent always observes this grid span.
+            from repro.pipeline.executor import parallel_map
 
-        measured = parallel_map(
-            functools.partial(_measure_placement, platform, config, core_counts),
-            placements,
-            jobs=jobs,
-            mode=executor_mode,
-        )
-        curves = dict(zip(placements, measured))
-    else:
-        curves = {
-            key: _measure_placement(platform, config, core_counts, key)
-            for key in placements
-        }
+            measured = parallel_map(
+                functools.partial(
+                    _measure_placement, platform, config, core_counts
+                ),
+                placements,
+                jobs=jobs,
+                mode=executor_mode,
+            )
+            curves = dict(zip(placements, measured))
+        else:
+            curves = {
+                key: _measure_placement(platform, config, core_counts, key)
+                for key in placements
+            }
     return PlatformDataset(
         platform_name=platform.name,
         sweep=PlacementSweep(curves=curves),

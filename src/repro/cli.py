@@ -40,12 +40,20 @@ Commands
     Query a running prediction service over HTTP.
 ``cache ls|info|clear``
     Inspect or clear the pipeline artifact cache (docs/PIPELINE.md).
+``trace summarize <path>``
+    Per-span time/percentage table of a ``--trace`` file
+    (docs/OBSERVABILITY.md).
 
 Experiment-running commands (``calibrate``, ``predict``, ``figure``,
 ``table2``, ``advise``, ``overlap``, ``sensitivity``, ``diagnose``,
 ``check``, ``report``) accept ``--cache-dir`` (reuse sweep/calibration
 artifacts across invocations; defaults to ``$REPRO_CACHE_DIR`` when
-set) and ``--jobs`` (parallel workers; 0 = one per CPU).
+set), ``--jobs`` (parallel workers; 0 = one per CPU), and ``--trace
+PATH`` (write a structured trace of the run: JSONL, or Chrome
+trace-event JSON when the path ends in ``.json``).  ``serve`` accepts
+``--trace`` too, exporting on shutdown.  The global ``--log-level``
+flag configures the root ``repro`` logger once, surfacing the
+``repro.<package>`` subsystem logs.
 
 Exit codes
 ----------
@@ -73,6 +81,7 @@ from repro.errors import (
     CalibrationError,
     CommunicationError,
     ModelError,
+    ObsError,
     PipelineError,
     PlacementError,
     ReproError,
@@ -80,6 +89,7 @@ from repro.errors import (
     SimulationError,
     TopologyError,
 )
+from repro.obs import LOG_LEVELS, configure_logging
 from repro.evaluation import (
     EXPERIMENTS,
     render_table1,
@@ -114,6 +124,7 @@ EXIT_CODES: dict[type, int] = {
     AdvisorError: 10,
     ServiceError: 11,
     PipelineError: 12,
+    ObsError: 13,
 }
 
 
@@ -148,10 +159,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=0, help="measurement noise seed")
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="configure the root 'repro' logger (default: library "
+        "logging stays unconfigured)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # The structured-trace flag every traced command shares.
+    trace_opts = argparse.ArgumentParser(add_help=False)
+    trace_opts.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a structured trace of this run (JSONL; a .json "
+        "suffix selects Chrome trace-event format)",
+    )
+
     # Shared by every command that runs the staged pipeline.
-    pipeline_opts = argparse.ArgumentParser(add_help=False)
+    pipeline_opts = argparse.ArgumentParser(add_help=False, parents=[trace_opts])
     pipeline_opts.add_argument(
         "--cache-dir",
         type=Path,
@@ -171,7 +200,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_topo = sub.add_parser("topo", help="render a platform topology")
     p_topo.add_argument("platform", choices=platform_names())
 
-    p_sweep = sub.add_parser("sweep", help="run the benchmark sweep")
+    p_sweep = sub.add_parser(
+        "sweep", parents=[trace_opts], help="run the benchmark sweep"
+    )
     p_sweep.add_argument("platform", choices=platform_names())
     p_sweep.add_argument(
         "--placement",
@@ -291,8 +322,21 @@ def build_parser() -> argparse.ArgumentParser:
         "clear", parents=[cache_opts], help="remove every cached artifact"
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect structured traces written by --trace"
+    )
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_sum = tsub.add_parser(
+        "summarize", help="per-span time/percentage table of a trace file"
+    )
+    t_sum.add_argument(
+        "trace_file", type=Path, metavar="PATH",
+        help="a JSONL or Chrome trace file written by --trace",
+    )
+
     p_serve = sub.add_parser(
-        "serve", help="run the contention-prediction service"
+        "serve", parents=[trace_opts],
+        help="run the contention-prediction service",
     )
     p_serve.add_argument(
         "--cache-dir",
@@ -639,6 +683,14 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     raise PipelineError(f"unknown cache command {args.cache_command!r}")
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.obs import summarize_trace_file
+
+    if args.trace_command == "summarize":
+        return summarize_trace_file(args.trace_file)
+    raise ObsError(f"unknown trace command {args.trace_command!r}")
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
     import signal
@@ -755,6 +807,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "report": _cmd_report,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
     "query": _cmd_query,
 }
@@ -762,13 +815,29 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro import obs
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+    trace_path: Path | None = getattr(args, "trace", None)
+    tracer = obs.enable() if trace_path is not None else None
     try:
         output = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    finally:
+        if tracer is not None:
+            obs.disable()
+            try:
+                # Written even when the command failed: the trace of a
+                # failed run is exactly what you want to look at.
+                obs.write_trace(tracer, trace_path)
+                print(f"wrote trace to {trace_path}", file=sys.stderr)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
     try:
         print(output)
     except BrokenPipeError:

@@ -20,6 +20,7 @@ analysis:
 
 from __future__ import annotations
 
+import logging
 import numpy as np
 
 from repro.bench.results import ModeCurves, PlatformDataset
@@ -27,6 +28,8 @@ from repro.core.parameters import ModelParameters
 from repro.core.placement import PlacementModel
 from repro.errors import CalibrationError
 from repro.topology.platforms import Platform
+
+log = logging.getLogger("repro.core")
 
 __all__ = ["calibrate", "calibrate_placement_model"]
 
@@ -126,6 +129,12 @@ def calibrate_placement_model(
                 f"dataset for {dataset.platform_name!r} lacks the sample "
                 f"placement {key}; measured: {dataset.sweep.placements()}"
             )
+    log.debug(
+        "calibrating %s from sample placements %s and %s",
+        dataset.platform_name,
+        local_key,
+        remote_key,
+    )
     return PlacementModel(
         local=calibrate(dataset.sweep[local_key]),
         remote=calibrate(dataset.sweep[remote_key]),

@@ -25,7 +25,7 @@ from repro.bench.results import ModeCurves
 from repro.core.calibration import calibrate
 from repro.core.evaluation import sweep_curves
 from repro.core.parameters import ModelParameters
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, ModelError
 
 __all__ = ["refine_parameters", "fit_quality"]
 
@@ -70,7 +70,12 @@ def _vector_to_params(
             b_comm_seq=float(b_comm),
             alpha=float(np.clip(alpha, 1e-6, 1.0)),
         )
-    except Exception:  # ModelError on out-of-range values
+    except ModelError:
+        # Out-of-range values the optimiser wandered into: a rejected
+        # candidate, not a failure.  Anything else (TypeError,
+        # AttributeError, ...) is a genuine bug and must propagate —
+        # swallowing it here used to misreport bugs as "calibration
+        # failed".
         return None
 
 

@@ -20,6 +20,7 @@ __all__ = [
     "AdvisorError",
     "ServiceError",
     "PipelineError",
+    "ObsError",
 ]
 
 
@@ -74,3 +75,12 @@ class PipelineError(ReproError):
     version-mismatched entry is logged, discarded, and recomputed.  This
     error covers genuine misuse — an unusable store root, an invalid
     parallelism request, an unknown cache entry named on the CLI."""
+
+
+class ObsError(ReproError):
+    """Raised by the observability layer (tracing, exporters, log setup).
+
+    Tracing *collection* never raises — a disabled tracer is a no-op
+    and an enabled one only appends records.  This error covers misuse
+    of the surrounding tooling: an unwritable or unparsable trace file,
+    an unknown export format or log level."""

@@ -12,6 +12,8 @@ maps each figure/table of the paper to what regenerates it.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
@@ -22,6 +24,8 @@ from repro.core.placement import PlacementModel, PlacementPrediction
 from repro.errors import ReproError
 from repro.evaluation.metrics import ErrorBreakdown
 from repro.topology.platforms import Platform
+
+log = logging.getLogger("repro.evaluation")
 
 if TYPE_CHECKING:
     from repro.pipeline.store import ArtifactStore
@@ -91,6 +95,7 @@ def run_all_experiments(
     """
     from repro.pipeline.runner import run_all_pipelines
 
+    log.debug("running all platform experiments (jobs=%s)", jobs)
     runs = run_all_pipelines(
         config=config,
         cache_dir=cache_dir,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import logging
 import numpy as np
 
 from repro.errors import SimulationError
@@ -24,6 +25,8 @@ from repro.kernels.intensity import demand_gbps
 from repro.kernels.memops import Kernel
 from repro.memsim.scenario import Scenario, solve_scenario
 from repro.topology.platforms import Platform
+
+log = logging.getLogger("repro.kernels")
 
 __all__ = ["IntensityPoint", "kernel_scenario", "intensity_sweep"]
 

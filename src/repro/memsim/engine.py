@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
@@ -23,6 +24,8 @@ from repro.memsim.profile import ContentionProfile
 from repro.memsim.stream import Stream
 from repro.topology.objects import Machine
 from repro.units import gb_to_bytes
+
+log = logging.getLogger("repro.memsim")
 
 __all__ = ["FlowProgress", "Engine"]
 
@@ -133,6 +136,13 @@ class Engine:
             self.step(until=until)
             if until is not None and self._now >= until - _EPS_TIME:
                 return self._now
+        log.error(
+            "engine stalled after %d events at t=%.6f (%d active, %d pending)",
+            max_events,
+            self._now,
+            len(self._active),
+            len(self._pending),
+        )
         raise SimulationError(
             f"engine exceeded {max_events} events; "
             "a flow is probably starved (zero rate with bytes remaining)"

@@ -10,10 +10,14 @@ in.
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import CommunicationError
+
+log = logging.getLogger("repro.mpi")
 from repro.mpi.api import SimMPI
 from repro.mpi.buffers import SimBuffer
 from repro.net.protocol import Protocol, RendezvousConfig, select_protocol

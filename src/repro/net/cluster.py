@@ -21,6 +21,8 @@ Resource ids are prefixed ``m0:`` / ``m1:`` per machine; the fabric is
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 
 from repro.errors import CommunicationError, SimulationError
@@ -31,6 +33,8 @@ from repro.memsim.stream import Stream, StreamKind
 from repro.net.fabric import Fabric
 from repro.topology.objects import Machine
 from repro.topology.platforms import Platform
+
+log = logging.getLogger("repro.net")
 
 __all__ = ["Cluster", "build_cluster_resources", "transfer_stream"]
 

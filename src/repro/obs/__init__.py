@@ -1,0 +1,103 @@
+"""repro.obs — structured tracing, profiling, and logging setup.
+
+The observability layer of the reproduction (docs/OBSERVABILITY.md):
+
+* :func:`span` / :func:`counter` — hierarchical monotonic-clock spans
+  and counters, thread- and asyncio-safe, with a no-op fast path when
+  no tracer is installed;
+* :func:`enable` / :func:`disable` / :func:`tracing` — the global
+  tracer switch;
+* :func:`write_trace` / :func:`to_jsonl` / :func:`to_chrome_trace` —
+  exporters (JSONL and ``chrome://tracing``);
+* :func:`summarize_trace` — the per-stage time/percentage aggregation
+  behind ``repro trace summarize``;
+* :func:`configure_logging` — the one-call setup behind ``--log-level``;
+* :func:`tracing_snapshot` — the JSON view the service's ``/metrics``
+  endpoint embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.export import (
+    JSONL_VERSION,
+    load_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    trace_format_for_path,
+    write_trace,
+)
+from repro.obs.logsetup import LOG_LEVELS, configure_logging
+from repro.obs.summary import (
+    SpanStats,
+    TraceSummary,
+    render_summary,
+    summarize_trace,
+    summarize_trace_file,
+)
+from repro.obs.tracer import (
+    CounterRecord,
+    SpanRecord,
+    Tracer,
+    counter,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "CounterRecord",
+    "JSONL_VERSION",
+    "LOG_LEVELS",
+    "SpanRecord",
+    "SpanStats",
+    "TraceSummary",
+    "Tracer",
+    "configure_logging",
+    "counter",
+    "disable",
+    "enable",
+    "get_tracer",
+    "is_enabled",
+    "load_jsonl",
+    "render_summary",
+    "span",
+    "summarize_trace",
+    "summarize_trace_file",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_format_for_path",
+    "tracing",
+    "tracing_snapshot",
+    "write_trace",
+]
+
+
+def tracing_snapshot() -> dict[str, Any]:
+    """A JSON-encodable view of the active tracer (for ``/metrics``).
+
+    ``{"enabled": False}`` when tracing is off; otherwise per-span-name
+    call counts / total milliseconds plus counter totals, cheap enough
+    to compute on every metrics scrape.
+    """
+    tracer = get_tracer()
+    if tracer is None:
+        return {"enabled": False, "spans": 0}
+    spans = tracer.spans()
+    by_name: dict[str, dict[str, float]] = {}
+    for record in spans:
+        entry = by_name.setdefault(record.name, {"count": 0, "total_ms": 0.0})
+        entry["count"] += 1
+        entry["total_ms"] += record.duration_us / 1e3
+    for entry in by_name.values():
+        entry["total_ms"] = round(entry["total_ms"], 3)
+    return {
+        "enabled": True,
+        "spans": len(spans),
+        "by_name": dict(sorted(by_name.items())),
+        "counters": tracer.counter_totals(),
+    }

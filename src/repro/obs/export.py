@@ -1,0 +1,254 @@
+"""Trace exporters: JSONL (the native format) and Chrome trace events.
+
+JSONL is the format ``--trace PATH`` writes and ``repro trace
+summarize`` reads: a ``meta`` header line followed by one JSON object
+per span / counter record, so it can be streamed, grepped, and parsed
+line-by-line without loading the whole trace.
+
+The Chrome export produces a ``chrome://tracing`` / Perfetto-loadable
+JSON object (``{"traceEvents": [...]}``): spans become complete
+(``"ph": "X"``) events laned by pid/tid, counters become ``"ph": "C"``
+events.  ``--trace`` paths ending in ``.json`` select it automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ObsError
+from repro.obs.tracer import CounterRecord, SpanRecord, Tracer
+
+__all__ = [
+    "JSONL_VERSION",
+    "load_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_format_for_path",
+    "write_trace",
+]
+
+#: Bumped when the JSONL record schema changes.
+JSONL_VERSION = 1
+
+
+def _span_line(record: SpanRecord) -> dict[str, Any]:
+    return {
+        "type": "span",
+        "name": record.name,
+        "span_id": record.span_id,
+        "parent_id": record.parent_id,
+        "start_us": record.start_us,
+        "duration_us": record.duration_us,
+        "pid": record.pid,
+        "tid": record.tid,
+        "tags": dict(record.tags),
+    }
+
+
+def _counter_line(record: CounterRecord) -> dict[str, Any]:
+    return {
+        "type": "counter",
+        "name": record.name,
+        "value": record.value,
+        "at_us": record.at_us,
+        "pid": record.pid,
+        "tid": record.tid,
+        "tags": dict(record.tags),
+    }
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """The tracer's records as JSON-lines text (meta header first)."""
+    spans = tracer.spans()
+    counters = tracer.counters()
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "format": "repro-trace",
+                "version": JSONL_VERSION,
+                "spans": len(spans),
+                "counters": len(counters),
+            }
+        )
+    ]
+    # Chronological order reads naturally and diffs stably.
+    lines += [
+        json.dumps(_span_line(r), default=str)
+        for r in sorted(spans, key=lambda r: (r.start_us, r.span_id))
+    ]
+    lines += [
+        json.dumps(_counter_line(r), default=str)
+        for r in sorted(counters, key=lambda r: r.at_us)
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def load_jsonl(text: str) -> tuple[dict, list[dict], list[dict]]:
+    """Parse JSONL trace text into ``(meta, span_dicts, counter_dicts)``.
+
+    Also accepts a Chrome trace-event export (a single JSON object with
+    ``traceEvents``), so ``repro trace summarize`` works on either file
+    ``--trace`` can produce.  Raises :class:`ObsError` on anything that
+    is neither.
+    """
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            as_object = json.loads(text)
+        except json.JSONDecodeError:
+            as_object = None
+        if isinstance(as_object, dict) and "traceEvents" in as_object:
+            return _from_chrome(as_object)
+
+    meta: dict = {}
+    spans: list[dict] = []
+    counters: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"trace line {lineno} is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ObsError(f"trace line {lineno} is not a JSON object")
+        kind = record.get("type")
+        if kind == "meta":
+            meta = record
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "counter":
+            counters.append(record)
+        else:
+            raise ObsError(f"trace line {lineno} has unknown type {kind!r}")
+    if not meta and not spans and not counters:
+        raise ObsError("trace file contains no records")
+    return meta, spans, counters
+
+
+def _from_chrome(trace: dict) -> tuple[dict, list[dict], list[dict]]:
+    """Convert a Chrome trace-event object back to the JSONL shape."""
+    spans: list[dict] = []
+    counters: list[dict] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObsError("Chrome trace 'traceEvents' is not a list")
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        ph = event.get("ph")
+        if ph == "X":
+            args = event.get("args", {})
+            spans.append(
+                {
+                    "type": "span",
+                    "name": str(event.get("name", "?")),
+                    "span_id": args.get("span_id", 0),
+                    "parent_id": args.get("parent_id"),
+                    "start_us": float(event.get("ts", 0.0)),
+                    "duration_us": float(event.get("dur", 0.0)),
+                    "pid": event.get("pid", 0),
+                    "tid": event.get("tid", 0),
+                    "tags": {
+                        k: v
+                        for k, v in args.items()
+                        if k not in ("span_id", "parent_id")
+                    },
+                }
+            )
+        elif ph == "C":
+            args = event.get("args", {})
+            counters.append(
+                {
+                    "type": "counter",
+                    "name": str(event.get("name", "?")),
+                    "value": float(args.get("value", 0.0)),
+                    "at_us": float(event.get("ts", 0.0)),
+                    "pid": event.get("pid", 0),
+                    "tid": event.get("tid", 0),
+                    "tags": {},
+                }
+            )
+    meta = {"type": "meta", "format": "chrome-trace", "spans": len(spans)}
+    return meta, spans, counters
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """A ``chrome://tracing``-loadable trace-event object."""
+    events: list[dict] = []
+    pids = set()
+    for record in sorted(tracer.spans(), key=lambda r: (r.start_us, r.span_id)):
+        pids.add(record.pid)
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.start_us,
+                "dur": record.duration_us,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": {
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    **{str(k): v for k, v in record.tags.items()},
+                },
+            }
+        )
+    for record in sorted(tracer.counters(), key=lambda r: r.at_us):
+        pids.add(record.pid)
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "C",
+                "ts": record.at_us,
+                "pid": record.pid,
+                "args": {"value": record.value},
+            }
+        )
+    # Name the process lanes so the viewer shows something better than
+    # a bare pid.
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": "repro"},
+        }
+        for pid in sorted(pids)
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def trace_format_for_path(path: Path | str) -> str:
+    """``"chrome"`` for ``.json`` paths, ``"jsonl"`` otherwise."""
+    return "chrome" if Path(path).suffix == ".json" else "jsonl"
+
+
+def write_trace(
+    tracer: Tracer, path: Path | str, *, fmt: str | None = None
+) -> Path:
+    """Write the trace to ``path``; format inferred from the suffix.
+
+    ``fmt`` forces ``"jsonl"`` or ``"chrome"`` regardless of suffix.
+    """
+    path = Path(path)
+    fmt = fmt or trace_format_for_path(path)
+    if fmt == "jsonl":
+        text = to_jsonl(tracer)
+    elif fmt == "chrome":
+        text = json.dumps(to_chrome_trace(tracer), indent=1, default=str)
+    else:
+        raise ObsError(
+            f"unknown trace format {fmt!r}; expected 'jsonl' or 'chrome'"
+        )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    except OSError as exc:
+        raise ObsError(f"cannot write trace to {path}: {exc}") from exc
+    return path

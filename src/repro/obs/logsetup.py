@@ -1,0 +1,64 @@
+"""One-call logging configuration for the ``repro`` logger tree.
+
+Every subsystem logs under ``repro.<package>`` (``repro.pipeline``,
+``repro.service``, ...).  Library code never configures handlers — per
+standard library etiquette, that is the application's call — so by
+default those records vanish into the root logger's level filter.  The
+CLI's ``--log-level`` flag (and any embedding application) calls
+:func:`configure_logging` once to attach a stderr handler to the root
+``repro`` logger and set its level; repeated calls only adjust the
+level, so the flag is idempotent across in-process CLI invocations.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+from repro.errors import ObsError
+
+__all__ = ["configure_logging", "LOG_LEVELS"]
+
+#: The ``--log-level`` vocabulary.
+LOG_LEVELS: tuple[str, ...] = ("debug", "info", "warning", "error", "critical")
+
+_configured_handler: logging.Handler | None = None
+
+
+def _coerce_level(level: str | int) -> int:
+    if isinstance(level, int) and not isinstance(level, bool):
+        return level
+    name = str(level).strip().lower()
+    if name not in LOG_LEVELS:
+        raise ObsError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+        )
+    return getattr(logging, name.upper())
+
+
+def configure_logging(
+    level: str | int = "warning", *, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach a handler to the root ``repro`` logger and set its level.
+
+    Idempotent: the first call installs one stderr (or ``stream``)
+    handler; later calls reuse it and only adjust the level (or the
+    stream, when a different one is passed — useful in tests).
+    """
+    global _configured_handler
+    logger = logging.getLogger("repro")
+    resolved = _coerce_level(level)
+    if _configured_handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-8s %(name)s: %(message)s"
+            )
+        )
+        logger.addHandler(handler)
+        _configured_handler = handler
+    elif stream is not None:
+        _configured_handler.setStream(stream)
+    logger.setLevel(resolved)
+    return logger

@@ -1,0 +1,128 @@
+"""Aggregate a trace into the per-stage time table of ``repro trace summarize``.
+
+The summary answers "where did the wall-time go": spans are grouped by
+name; each group shows call count, total/mean duration, and its share
+of the traced wall-clock (first span start to last span end, per
+process — concurrent spans can therefore sum past 100 %, which is the
+honest reading of overlapped work).  Counters are totalled by name
+below the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ObsError
+from repro.obs.export import load_jsonl
+
+__all__ = [
+    "SpanStats",
+    "TraceSummary",
+    "render_summary",
+    "summarize_trace",
+    "summarize_trace_file",
+]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregated timing of every span sharing one name."""
+
+    name: str
+    calls: int
+    total_us: float
+    mean_us: float
+    max_us: float
+    #: Share of the traced wall-clock interval (0..1, may exceed 1 for
+    #: names whose spans overlap, e.g. concurrent service requests).
+    share: float
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Everything the summarize command prints."""
+
+    wall_us: float
+    spans_total: int
+    by_name: tuple[SpanStats, ...]
+    counters: tuple[tuple[str, float], ...]
+
+
+def summarize_trace(text: str) -> TraceSummary:
+    """Aggregate JSONL (or Chrome-export) trace text."""
+    _meta, spans, counters = load_jsonl(text)
+    if not spans and not counters:
+        raise ObsError("trace contains no spans or counters to summarize")
+
+    wall_us = 0.0
+    if spans:
+        start = min(float(s.get("start_us", 0.0)) for s in spans)
+        end = max(
+            float(s.get("start_us", 0.0)) + float(s.get("duration_us", 0.0))
+            for s in spans
+        )
+        wall_us = max(end - start, 0.0)
+
+    grouped: dict[str, list[float]] = {}
+    for record in spans:
+        grouped.setdefault(str(record.get("name", "?")), []).append(
+            float(record.get("duration_us", 0.0))
+        )
+    stats = []
+    for name, durations in grouped.items():
+        total = sum(durations)
+        stats.append(
+            SpanStats(
+                name=name,
+                calls=len(durations),
+                total_us=total,
+                mean_us=total / len(durations),
+                max_us=max(durations),
+                share=(total / wall_us) if wall_us > 0 else 0.0,
+            )
+        )
+    stats.sort(key=lambda s: (-s.total_us, s.name))
+
+    totals: dict[str, float] = {}
+    for record in counters:
+        name = str(record.get("name", "?"))
+        totals[name] = totals.get(name, 0.0) + float(record.get("value", 0.0))
+
+    return TraceSummary(
+        wall_us=wall_us,
+        spans_total=len(spans),
+        by_name=tuple(stats),
+        counters=tuple(sorted(totals.items())),
+    )
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The human-readable table ``repro trace summarize`` prints."""
+    lines = [
+        f"trace: {summary.spans_total} spans over "
+        f"{summary.wall_us / 1e3:.2f} ms wall",
+        f"{'span':<28} {'calls':>6} {'total ms':>10} {'mean ms':>9} "
+        f"{'max ms':>9} {'wall %':>7}",
+    ]
+    for s in summary.by_name:
+        lines.append(
+            f"{s.name:<28} {s.calls:>6} {s.total_us / 1e3:>10.2f} "
+            f"{s.mean_us / 1e3:>9.2f} {s.max_us / 1e3:>9.2f} "
+            f"{s.share * 100:>6.1f}%"
+        )
+    if summary.counters:
+        lines.append("counters:")
+        for name, value in summary.counters:
+            lines.append(f"  {name:<30} {value:g}")
+    return "\n".join(lines)
+
+
+def summarize_trace_file(path: Path | str) -> str:
+    """Read a trace file and render its summary (the CLI entry point)."""
+    path = Path(path)
+    try:
+        text = path.read_text("utf-8")
+    except OSError as exc:
+        raise ObsError(f"cannot read trace file {path}: {exc}") from exc
+    return render_summary(summarize_trace(text))

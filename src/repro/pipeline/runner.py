@@ -26,6 +26,7 @@ from repro.bench.config import SweepConfig
 from repro.bench.sweep import sample_placements
 from repro.errors import PipelineError, ReproError
 from repro.evaluation.experiments import ExperimentResult
+from repro.obs import span
 from repro.pipeline.executor import parallel_map
 from repro.pipeline.stage import Artifact, PipelineContext, Stage
 from repro.pipeline.stages import PIPELINE_STAGES
@@ -103,34 +104,47 @@ def _run_stage(
     """Execute one stage: cache lookup, compute fallback, persist."""
     key = ctx.key_for(stage)
     inputs = {name: artifacts[name] for name in stage.inputs}
-    if not stage.cacheable:
-        return Artifact(key=key, value=stage.compute(ctx, inputs)), "derived"
+    with span(
+        f"pipeline.{stage.name}", platform=ctx.platform.name
+    ) as stage_span:
+        if not stage.cacheable:
+            stage_span.tag(source="derived")
+            return (
+                Artifact(key=key, value=stage.compute(ctx, inputs)),
+                "derived",
+            )
 
-    if store is not None:
-        payloads = store.load(key)
-        if payloads is not None:
-            try:
-                value = stage.deserialize(payloads, ctx)
-                return Artifact(key=key, value=value, cached=True), "cached"
-            except ReproError as exc:
-                # A verified-checksum entry that still fails to
-                # deserialise (e.g. written for a different topology
-                # registry) is as good as corrupt: drop and recompute.
-                log.warning(
-                    "cache entry %s failed to deserialise (%s); recomputing",
-                    key.entry_id,
-                    exc,
-                )
-                store.discard(key)
+        if store is not None:
+            payloads = store.load(key)
+            if payloads is not None:
+                try:
+                    value = stage.deserialize(payloads, ctx)
+                    stage_span.tag(source="cached")
+                    return (
+                        Artifact(key=key, value=value, cached=True),
+                        "cached",
+                    )
+                except ReproError as exc:
+                    # A verified-checksum entry that still fails to
+                    # deserialise (e.g. written for a different topology
+                    # registry) is as good as corrupt: drop and recompute.
+                    log.warning(
+                        "cache entry %s failed to deserialise (%s); "
+                        "recomputing",
+                        key.entry_id,
+                        exc,
+                    )
+                    store.discard(key)
 
-    value = stage.compute(ctx, inputs)
-    if store is not None:
-        store.save(
-            key,
-            stage.serialize(value),
-            provenance={"sweep_config": ctx.config.to_dict()},
-        )
-    return Artifact(key=key, value=value), "computed"
+        value = stage.compute(ctx, inputs)
+        if store is not None:
+            store.save(
+                key,
+                stage.serialize(value),
+                provenance={"sweep_config": ctx.config.to_dict()},
+            )
+        stage_span.tag(source="computed")
+        return Artifact(key=key, value=value), "computed"
 
 
 def run_platform_pipeline(
@@ -162,10 +176,16 @@ def run_platform_pipeline(
 
     artifacts: dict[str, Artifact] = {}
     outcomes: list[StageOutcome] = []
-    for stage in PIPELINE_STAGES:
-        artifact, source = _run_stage(stage, ctx, resolved, artifacts)
-        artifacts[stage.name] = artifact
-        outcomes.append(StageOutcome(stage=stage.name, source=source))
+    with span(
+        "pipeline.run",
+        platform=ctx.platform.name,
+        cached_store=resolved is not None,
+        jobs=jobs,
+    ):
+        for stage in PIPELINE_STAGES:
+            artifact, source = _run_stage(stage, ctx, resolved, artifacts)
+            artifacts[stage.name] = artifact
+            outcomes.append(StageOutcome(stage=stage.name, source=source))
 
     result = ExperimentResult(
         platform=platform,

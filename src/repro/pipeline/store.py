@@ -38,7 +38,13 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.errors import PipelineError
+from repro.obs import counter, span
 from repro.pipeline.stage import StageKey
+
+try:  # POSIX; the hit counter degrades to best-effort elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["ArtifactStore", "EntryInfo", "StoreStats", "MANIFEST_VERSION"]
 
@@ -50,6 +56,9 @@ MANIFEST_VERSION = 1
 
 _MANIFEST = "manifest.json"
 _STATS = "stats.json"
+#: flock target serialising stats.json increments; the leading dot
+#: keeps it out of the payload namespace (save() rejects dotted names).
+_STATS_LOCK = ".stats.lock"
 _TMP = ".tmp"
 
 
@@ -126,22 +135,30 @@ class ArtifactStore:
         """
         entry = self._entry_dir(key)
         manifest_path = entry / _MANIFEST
-        if not manifest_path.is_file():
-            self.stats.misses += 1
-            return None
-        try:
-            payloads = self._read_verified(entry, key)
-        except (OSError, ValueError) as exc:
-            log.warning(
-                "discarding corrupt cache entry %s: %s", key.entry_id, exc
-            )
-            self._discard_dir(entry)
-            self.stats.discards += 1
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._bump_hits(entry)
-        return payloads
+        with span("store.load", entry=key.entry_id) as load_span:
+            if not manifest_path.is_file():
+                self.stats.misses += 1
+                counter("store.miss", entry=key.entry_id)
+                load_span.tag(outcome="miss")
+                return None
+            try:
+                payloads = self._read_verified(entry, key)
+            except (OSError, ValueError) as exc:
+                log.warning(
+                    "discarding corrupt cache entry %s: %s", key.entry_id, exc
+                )
+                self._discard_dir(entry)
+                self.stats.discards += 1
+                self.stats.misses += 1
+                counter("store.discard", entry=key.entry_id)
+                counter("store.miss", entry=key.entry_id)
+                load_span.tag(outcome="corrupt")
+                return None
+            self.stats.hits += 1
+            counter("store.hit", entry=key.entry_id)
+            load_span.tag(outcome="hit")
+            self._bump_hits(entry)
+            return payloads
 
     def _read_verified(self, entry: Path, key: StageKey) -> dict[str, str]:
         """Read and verify one entry; raises ValueError/OSError on any defect."""
@@ -220,27 +237,31 @@ class ArtifactStore:
         }
         tmp_root = self._root / _TMP
         tmp_root.mkdir(parents=True, exist_ok=True)
-        tmp_dir = Path(tempfile.mkdtemp(dir=tmp_root, prefix=key.stage))
-        try:
-            for name, text in payloads.items():
-                (tmp_dir / name).write_bytes(text.encode("utf-8"))
-            (tmp_dir / _MANIFEST).write_bytes(
-                json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
-            )
-            destination = self._entry_dir(key)
-            destination.parent.mkdir(parents=True, exist_ok=True)
+        with span("store.save", entry=key.entry_id):
+            tmp_dir = Path(tempfile.mkdtemp(dir=tmp_root, prefix=key.stage))
             try:
-                tmp_dir.rename(destination)
-            except OSError:
-                # A concurrent writer already published this key.  Both
-                # computed the same content-addressed bytes: theirs is
-                # as good as ours.
+                for name, text in payloads.items():
+                    (tmp_dir / name).write_bytes(text.encode("utf-8"))
+                (tmp_dir / _MANIFEST).write_bytes(
+                    json.dumps(manifest, indent=2, sort_keys=True).encode(
+                        "utf-8"
+                    )
+                )
+                destination = self._entry_dir(key)
+                destination.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    tmp_dir.rename(destination)
+                except OSError:
+                    # A concurrent writer already published this key.  Both
+                    # computed the same content-addressed bytes: theirs is
+                    # as good as ours.
+                    shutil.rmtree(tmp_dir, ignore_errors=True)
+                    return
+            except Exception:
                 shutil.rmtree(tmp_dir, ignore_errors=True)
-                return
-        except Exception:
-            shutil.rmtree(tmp_dir, ignore_errors=True)
-            raise
-        self.stats.stores += 1
+                raise
+            self.stats.stores += 1
+            counter("store.store", entry=key.entry_id)
 
     def discard(self, key: StageKey) -> bool:
         """Remove one entry; True if it existed."""
@@ -258,31 +279,58 @@ class ArtifactStore:
     # ---- persistent hit counter -------------------------------------------------
 
     def _bump_hits(self, entry: Path) -> None:
-        """Best-effort persistent hit counter, outside the checksummed set.
+        """Atomic persistent hit counter, outside the checksummed set.
 
         The counter is evidence for smoke tests and ``repro cache info``
-        ("did the second run actually hit?"), so losing an increment to
-        a rare race is acceptable; corrupting the entry is not — hence a
-        sidecar file the manifest does not cover, written atomically.
+        ("did the second run actually hit?"), so it must survive racing
+        readers: the read-modify-write is serialised by an ``flock`` on
+        a sidecar lock file (one per entry, works across both threads
+        and processes since every bump opens its own descriptor) and
+        published by tmp+rename, so no increment is lost and no reader
+        ever sees a torn ``stats.json``.  Where ``flock`` is missing
+        the bump degrades to best-effort; it never raises — a counter
+        may not cost a pipeline run.
         """
         stats_path = entry / _STATS
         try:
-            hits = self.entry_hits(entry)
-            with tempfile.NamedTemporaryFile(
-                "w", dir=entry, delete=False, suffix=".tmp", encoding="utf-8"
-            ) as handle:
-                json.dump({"hits": hits + 1}, handle)
-                temp_name = handle.name
-            Path(temp_name).replace(stats_path)
+            with open(entry / _STATS_LOCK, "a") as lock_handle:
+                if fcntl is not None:
+                    fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    hits = self.entry_hits(entry)
+                    with tempfile.NamedTemporaryFile(
+                        "w",
+                        dir=entry,
+                        delete=False,
+                        suffix=".tmp",
+                        encoding="utf-8",
+                    ) as handle:
+                        json.dump({"hits": hits + 1}, handle)
+                        temp_name = handle.name
+                    Path(temp_name).replace(stats_path)
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
         except OSError:
+            # The entry vanished under us (concurrent discard) or the
+            # filesystem refused: drop the increment, not the run.
             pass
 
     @staticmethod
     def entry_hits(entry: Path) -> int:
+        """The persisted hit count; a corrupt sidecar reads as 0.
+
+        Corruption-tolerant by contract: non-JSON bytes, a non-object
+        document (``[]``), a non-numeric ``hits`` (``null``, ``"x"``)
+        and a missing file all reset the counter to 0 rather than
+        raising — the sidecar is evidence, never load-bearing state.
+        """
         try:
             data = json.loads((entry / _STATS).read_text("utf-8"))
-            return int(data.get("hits", 0))
-        except (OSError, ValueError):
+            if not isinstance(data, dict):
+                return 0
+            return max(0, int(data.get("hits", 0)))
+        except (OSError, ValueError, TypeError):
             return 0
 
     def hits_recorded(self, key: StageKey) -> int:

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.placement import PointPrediction
 from repro.errors import ReproError
+from repro.obs import span
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelKey
 
@@ -101,17 +102,22 @@ class PredictBatcher:
             return
         self._metrics.observe_batch(len(queue.queries))
         model = queue.entry.model
-        try:
-            results = model.predict_batch(queue.queries)
-        except ReproError:
-            # At least one query is invalid; isolate it by answering
-            # each query on its own.
-            results = []
-            for query in queue.queries:
-                try:
-                    results.append(model.predict_batch([query])[0])
-                except ReproError as exc:
-                    results.append(exc)
+        with span(
+            "service.batch",
+            platform=key.platform,
+            size=len(queue.queries),
+        ):
+            try:
+                results = model.predict_batch(queue.queries)
+            except ReproError:
+                # At least one query is invalid; isolate it by answering
+                # each query on its own.
+                results = []
+                for query in queue.queries:
+                    try:
+                        results.append(model.predict_batch([query])[0])
+                    except ReproError as exc:
+                        results.append(exc)
         for future, result in zip(queue.futures, results):
             if future.cancelled():
                 continue

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+from repro.obs import tracing_snapshot
+
 __all__ = ["ServiceMetrics", "LATENCY_BUCKETS_MS"]
 
 #: Upper bounds (milliseconds) of the request-latency histogram buckets.
@@ -126,4 +128,7 @@ class ServiceMetrics:
                 "queries": self.batched_queries_total,
                 "sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
             },
+            # Per-span-name timing of the active tracer (requests,
+            # batches, calibrations); {"enabled": False} when off.
+            "tracing": tracing_snapshot(),
         }

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import logging
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,10 +28,13 @@ from typing import Callable
 from repro.bench.config import SweepConfig
 from repro.core.placement import PlacementModel
 from repro.errors import ServiceError
+from repro.obs import span
 from repro.service.metrics import ServiceMetrics
 from repro.topology.platforms import Platform, get_platform, platform_names
 
 __all__ = ["ModelKey", "ModelEntry", "ModelRegistry"]
+
+log = logging.getLogger("repro.service")
 
 
 @dataclass(frozen=True)
@@ -144,9 +149,24 @@ class ModelRegistry:
         finally:
             self._pending.pop(key, None)
 
+    def _run_calibrator(self, key: ModelKey) -> ModelEntry:
+        """The calibrator call as the executor thread runs it, spanned."""
+        started = time.perf_counter()
+        with span(
+            "service.calibrate", platform=key.platform, seed=key.seed
+        ):
+            entry = self._calibrator(key)
+        log.info(
+            "calibrated %s (seed=%d) in %.0f ms",
+            key.platform,
+            key.seed,
+            (time.perf_counter() - started) * 1e3,
+        )
+        return entry
+
     async def _calibrate(self, key: ModelKey) -> ModelEntry:
         loop = asyncio.get_running_loop()
-        entry = await loop.run_in_executor(None, self._calibrator, key)
+        entry = await loop.run_in_executor(None, self._run_calibrator, key)
         self._metrics.calibrations_total += 1
         self._entries[key] = entry
         while len(self._entries) > self._max_entries:

@@ -24,16 +24,20 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import time
 
 from repro.advisor import Advisor, Workload
 from repro.errors import ReproError, ServiceError
+from repro.obs import span
 from repro.service import protocol
 from repro.service.batching import PredictBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelRegistry
 
 __all__ = ["ContentionService"]
+
+log = logging.getLogger("repro.service")
 
 _MAX_BODY_BYTES = 1 << 20
 _MAX_HEADER_LINES = 100
@@ -130,6 +134,7 @@ class ContentionService:
         self._server = await asyncio.start_server(
             self._on_connection, self._host, self._port
         )
+        log.info("service listening on %s:%d", self._host, self.port)
 
     async def run_until_shutdown(self) -> None:
         """Serve until :meth:`shutdown` is called (from any task)."""
@@ -267,33 +272,38 @@ class ContentionService:
 
         self.metrics.in_flight += 1
         started = time.perf_counter()
-        try:
+        with span("service.request", endpoint=endpoint) as request_span:
             try:
-                parsed = json.loads(body.decode("utf-8")) if body else None
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ServiceError(f"invalid JSON body: {exc}") from None
-            payload = await asyncio.wait_for(
-                handler(parsed), timeout=self._request_timeout_s
-            )
-            status = 200
-        except asyncio.TimeoutError:
-            self.metrics.timeouts_total += 1
-            status = 504
-            payload = protocol.error_payload(
-                ServiceError(
-                    f"request exceeded the {self._request_timeout_s:g}s "
-                    "timeout"
-                ),
-                status=504,
-            )
-        except ReproError as exc:
-            status = protocol.http_status_for(exc)
-            payload = protocol.error_payload(exc, status=status)
-        except Exception as exc:  # noqa: BLE001 — the envelope must hold
-            status = 500
-            payload = protocol.error_payload(exc, status=500)
-        finally:
-            self.metrics.in_flight -= 1
+                try:
+                    parsed = json.loads(body.decode("utf-8")) if body else None
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServiceError(f"invalid JSON body: {exc}") from None
+                payload = await asyncio.wait_for(
+                    handler(parsed), timeout=self._request_timeout_s
+                )
+                status = 200
+            except asyncio.TimeoutError:
+                self.metrics.timeouts_total += 1
+                status = 504
+                payload = protocol.error_payload(
+                    ServiceError(
+                        f"request exceeded the {self._request_timeout_s:g}s "
+                        "timeout"
+                    ),
+                    status=504,
+                )
+            except ReproError as exc:
+                status = protocol.http_status_for(exc)
+                payload = protocol.error_payload(exc, status=status)
+            except Exception as exc:  # noqa: BLE001 — the envelope must hold
+                log.warning(
+                    "internal error handling %s %s: %s", method, path, exc
+                )
+                status = 500
+                payload = protocol.error_payload(exc, status=500)
+            finally:
+                self.metrics.in_flight -= 1
+            request_span.tag(status=status)
         self.metrics.observe_request(
             endpoint, status, time.perf_counter() - started
         )

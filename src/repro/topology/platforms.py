@@ -31,6 +31,8 @@ platform —
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 from typing import Callable
 
@@ -40,6 +42,8 @@ from repro.topology.builder import MachineBuilder
 from repro.topology.objects import Machine
 from repro.topology.validate import validate_machine
 from repro.units import GiB
+
+log = logging.getLogger("repro.topology")
 
 __all__ = [
     "Platform",
@@ -334,4 +338,5 @@ def get_platform(name: str) -> Platform:
         raise TopologyError(
             f"unknown platform {name!r}; valid names: {', '.join(PLATFORMS)}"
         ) from None
+    log.debug("building platform %s", name)
     return factory()

@@ -1,11 +1,12 @@
 """Least-squares calibration refinement tests."""
 
+import numpy as np
 import pytest
 
 from repro.bench.runner import measure_curves
 from repro.bench import SweepConfig
 from repro.core import calibrate
-from repro.core.fitting import fit_quality, refine_parameters
+from repro.core.fitting import _vector_to_params, fit_quality, refine_parameters
 from repro.errors import CalibrationError
 from tests.core.test_calibration import REFERENCE, synthetic_curves
 
@@ -21,6 +22,30 @@ class TestFitQuality:
         curves = synthetic_curves(REFERENCE)
         worse = dataclasses.replace(REFERENCE, alpha=0.8)
         assert fit_quality(worse, curves) > 0.01
+
+
+class TestVectorDecoding:
+    """Regression: only *model* rejections may be swallowed as None."""
+
+    def test_valid_vector_decodes(self):
+        x = np.array([4.0, 6.0, 3.5, 0.1, 0.2, 1.0, 1.5, 0.5])
+        params = _vector_to_params(x, 4, 8)
+        assert params is not None
+        assert params.n_par_max == 4
+
+    def test_out_of_range_candidate_returns_none(self):
+        # Negative t_par_max: ModelError inside ModelParameters — the
+        # optimiser wandered out of range, which is a rejection.
+        x = np.array([-1.0, 6.0, 3.5, 0.1, 0.2, 1.0, 1.5, 0.5])
+        assert _vector_to_params(x, 4, 8) is None
+
+    def test_genuine_bug_propagates(self):
+        # A None element is not a "bad candidate", it is a programming
+        # error; the old blanket `except Exception` silently turned it
+        # into a rejected candidate.
+        x = [None] * 8
+        with pytest.raises(TypeError):
+            _vector_to_params(x, 4, 8)
 
 
 class TestRefine:

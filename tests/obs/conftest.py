@@ -1,0 +1,12 @@
+"""Tracing is process-global state; never leak it between tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _no_tracer_leaks():
+    obs.disable()
+    yield
+    obs.disable()

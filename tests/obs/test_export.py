@@ -1,0 +1,177 @@
+"""Exporter contracts: JSONL round trip, Chrome schema, summaries."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    JSONL_VERSION,
+    Tracer,
+    counter,
+    load_jsonl,
+    render_summary,
+    span,
+    summarize_trace,
+    summarize_trace_file,
+    to_chrome_trace,
+    to_jsonl,
+    trace_format_for_path,
+    tracing,
+    write_trace,
+)
+
+
+@pytest.fixture
+def traced() -> Tracer:
+    """A small but structurally complete trace."""
+    with tracing() as tracer:
+        with span("pipeline.run", platform="henri"):
+            with span("pipeline.measure"):
+                counter("store.miss", entry="abc")
+            with span("pipeline.calibrate"):
+                pass
+    return tracer
+
+
+class TestJsonl:
+    def test_header_then_one_record_per_line(self, traced):
+        lines = [json.loads(l) for l in to_jsonl(traced).splitlines()]
+        meta = lines[0]
+        assert meta["type"] == "meta"
+        assert meta["format"] == "repro-trace"
+        assert meta["version"] == JSONL_VERSION
+        assert meta["spans"] == 3
+        assert meta["counters"] == 1
+        assert len(lines) == 1 + 3 + 1
+
+    def test_round_trip(self, traced):
+        meta, spans, counters = load_jsonl(to_jsonl(traced))
+        assert meta["spans"] == 3
+        assert {s["name"] for s in spans} == {
+            "pipeline.run",
+            "pipeline.measure",
+            "pipeline.calibrate",
+        }
+        by_name = {s["name"]: s for s in spans}
+        assert (
+            by_name["pipeline.measure"]["parent_id"]
+            == by_name["pipeline.run"]["span_id"]
+        )
+        (miss,) = counters
+        assert miss["name"] == "store.miss"
+        assert miss["tags"] == {"entry": "abc"}
+
+    def test_spans_sorted_chronologically(self, traced):
+        _meta, spans, _ = load_jsonl(to_jsonl(traced))
+        starts = [s["start_us"] for s in spans]
+        assert starts == sorted(starts)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "not json\n", '{"type": "alien"}\n', "[1, 2]\n"],
+    )
+    def test_bad_input_raises_obs_error(self, text):
+        with pytest.raises(ObsError):
+            load_jsonl(text)
+
+    def test_exotic_tag_values_do_not_break_encoding(self):
+        with tracing() as tracer:
+            with span("s", where=object()):
+                pass
+        # default=str turns the unencodable tag into its repr.
+        meta, spans, _ = load_jsonl(to_jsonl(tracer))
+        assert "object" in spans[0]["tags"]["where"]
+
+
+class TestChrome:
+    def test_schema(self, traced):
+        trace = to_chrome_trace(traced)
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 1  # one process_name per pid
+        assert phases.count("X") == 3
+        assert phases.count("C") == 1
+        for event in events:
+            assert {"name", "ph", "pid"} <= set(event)
+            if event["ph"] in ("X", "C"):
+                assert isinstance(event["ts"], float)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+                assert event["cat"] == "repro"
+                assert "span_id" in event["args"]
+        # The whole object must survive strict JSON encoding.
+        json.loads(json.dumps(trace))
+
+    def test_span_tags_become_args(self, traced):
+        events = to_chrome_trace(traced)["traceEvents"]
+        (run,) = [e for e in events if e.get("name") == "pipeline.run"]
+        assert run["args"]["platform"] == "henri"
+
+    def test_summarize_accepts_chrome_export(self, traced):
+        text = json.dumps(to_chrome_trace(traced))
+        summary = summarize_trace(text)
+        assert summary.spans_total == 3
+
+
+class TestWriteTrace:
+    def test_suffix_selects_format(self):
+        assert trace_format_for_path("t.json") == "chrome"
+        assert trace_format_for_path("t.jsonl") == "jsonl"
+        assert trace_format_for_path("t.trace") == "jsonl"
+
+    def test_writes_jsonl(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.jsonl")
+        meta, spans, _ = load_jsonl(path.read_text())
+        assert meta["spans"] == len(spans) == 3
+
+    def test_writes_chrome(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.json")
+        trace = json.loads(path.read_text())
+        assert "traceEvents" in trace
+
+    def test_creates_parent_dirs(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "deep" / "down" / "t.jsonl")
+        assert path.exists()
+
+    def test_unknown_format_rejected(self, traced, tmp_path):
+        with pytest.raises(ObsError, match="unknown trace format"):
+            write_trace(traced, tmp_path / "t.jsonl", fmt="xml")
+
+    def test_unwritable_path_raises_obs_error(self, traced, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        with pytest.raises(ObsError, match="cannot write"):
+            write_trace(traced, blocker / "t.jsonl")
+
+
+class TestSummary:
+    def test_aggregation(self, traced):
+        summary = summarize_trace(to_jsonl(traced))
+        assert summary.spans_total == 3
+        by_name = {s.name: s for s in summary.by_name}
+        assert by_name["pipeline.run"].calls == 1
+        # The root span spans the whole trace, so its share is ~100 %.
+        assert by_name["pipeline.run"].share == pytest.approx(1.0, abs=0.05)
+        assert summary.counters == (("store.miss", 1.0),)
+        # Sorted by total time descending; the root dominates.
+        assert summary.by_name[0].name == "pipeline.run"
+
+    def test_render_contains_table_and_counters(self, traced):
+        text = render_summary(summarize_trace(to_jsonl(traced)))
+        assert "pipeline.run" in text
+        assert "wall %" in text
+        assert "store.miss" in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ObsError):
+            summarize_trace('{"type": "meta", "spans": 0}\n')
+
+    def test_file_entry_point(self, traced, tmp_path):
+        path = write_trace(traced, tmp_path / "t.jsonl")
+        assert "pipeline.run" in summarize_trace_file(path)
+
+    def test_missing_file_raises_obs_error(self, tmp_path):
+        with pytest.raises(ObsError, match="cannot read"):
+            summarize_trace_file(tmp_path / "absent.jsonl")

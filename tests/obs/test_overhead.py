@@ -1,0 +1,51 @@
+"""The no-op fast path: disabled tracing must cost effectively nothing.
+
+The instrumented hot paths (store loads, sweep placements, service
+requests) run with tracing off in every benchmark, so a disabled
+``span()`` has a hard budget: one tiny allocation and two attribute
+stores.  The absolute bound here is deliberately loose (CI machines
+jitter) while still catching any regression that adds clock reads,
+locks, or recording to the disabled path.
+"""
+
+import time
+
+from repro.obs import counter, span, tracing
+
+
+def _time_per_call_us(fn, iterations: int) -> float:
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter_ns() - start) / iterations / 1e3
+
+
+def test_disabled_span_is_cheap():
+    def noop_span():
+        with span("hot", key=1):
+            pass
+
+    iterations = 20_000
+    best = min(_time_per_call_us(noop_span, iterations) for _ in range(3))
+    # A no-op span is ~0.5 µs on any recent CPU; 20 µs means something
+    # expensive (clock read, lock, record) leaked into the disabled path.
+    assert best < 20.0, f"disabled span costs {best:.2f} us/call"
+
+
+def test_disabled_counter_is_cheap():
+    iterations = 50_000
+    best = min(
+        _time_per_call_us(lambda: counter("hot"), iterations) for _ in range(3)
+    )
+    assert best < 10.0, f"disabled counter costs {best:.2f} us/call"
+
+
+def test_enabled_span_overhead_is_bounded():
+    """Sanity: even *enabled*, a span is microseconds, not milliseconds."""
+    with tracing():
+        def live_span():
+            with span("hot"):
+                pass
+
+        per_call = _time_per_call_us(live_span, 5_000)
+    assert per_call < 100.0, f"enabled span costs {per_call:.2f} us/call"

@@ -1,0 +1,226 @@
+"""Span nesting, threading, decorators, counters, and the global switch."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Tracer, counter, span, tracing
+
+
+class TestSwitch:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+        assert obs.get_tracer() is None
+
+    def test_enable_disable_round_trip(self):
+        tracer = obs.enable()
+        assert obs.is_enabled()
+        assert obs.get_tracer() is tracer
+        assert obs.disable() is tracer
+        assert not obs.is_enabled()
+
+    def test_enable_resumes_existing_tracer(self):
+        tracer = Tracer()
+        with span("first"):
+            pass  # no tracer installed: dropped
+        obs.enable(tracer)
+        with span("second"):
+            pass
+        obs.disable()
+        assert [s.name for s in tracer.spans()] == ["second"]
+
+    def test_tracing_context_restores_previous(self):
+        outer = obs.enable()
+        with tracing() as inner:
+            assert obs.get_tracer() is inner
+            assert inner is not outer
+        assert obs.get_tracer() is outer
+
+    def test_disabled_span_records_nothing(self):
+        tracer = Tracer()
+        with span("ghost"):
+            pass
+        assert tracer.spans() == []
+        counter("ghost_counter")  # must not raise either
+
+
+class TestNesting:
+    def test_parent_child_chain(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_siblings_share_a_parent(self):
+        with tracing() as tracer:
+            with span("parent"):
+                with span("a"):
+                    pass
+                with span("b"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["a"].parent_id == by_name["parent"].span_id
+        assert by_name["b"].parent_id == by_name["parent"].span_id
+
+    def test_sequential_roots_are_parentless(self):
+        with tracing() as tracer:
+            with span("one"):
+                pass
+            with span("two"):
+                pass
+        assert all(s.parent_id is None for s in tracer.spans())
+
+    def test_timing_is_monotonic_and_nested(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.duration_us >= 0
+        assert inner.start_us >= outer.start_us
+        assert inner.end_us <= outer.end_us + 1.0  # clock granularity slack
+
+    def test_exception_tags_and_propagates(self):
+        with tracing() as tracer:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        (record,) = tracer.spans()
+        assert record.tags["error"] == "ValueError"
+
+
+class TestTags:
+    def test_construction_and_mid_span_tags(self):
+        with tracing() as tracer:
+            with span("load", entry="abc") as handle:
+                handle.tag(outcome="hit")
+        (record,) = tracer.spans()
+        assert record.tags == {"entry": "abc", "outcome": "hit"}
+
+    def test_tag_is_noop_when_disabled(self):
+        with span("ghost") as handle:
+            handle.tag(outcome="hit")  # must not raise
+
+
+class TestDecorator:
+    def test_decorated_function_records_per_call(self):
+        @span("worker", kind="test")
+        def work(x):
+            return x * 2
+
+        with tracing() as tracer:
+            assert work(3) == 6
+            assert work(4) == 8
+        records = tracer.spans()
+        assert [s.name for s in records] == ["worker", "worker"]
+        assert all(s.tags == {"kind": "test"} for s in records)
+
+    def test_decorating_before_enable_still_traces(self):
+        """Late binding: the tracer is resolved per call, not at
+        decoration time."""
+
+        @span("late")
+        def work():
+            return 1
+
+        work()  # disabled: no-op
+        with tracing() as tracer:
+            work()
+        assert len(tracer.spans()) == 1
+
+
+class TestThreading:
+    def test_worker_threads_record_into_one_tracer(self):
+        n_threads, spans_each = 8, 4
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i):
+            barrier.wait()
+            for j in range(spans_each):
+                with span("work", worker=i, j=j):
+                    pass
+
+        with tracing() as tracer:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        records = tracer.spans()
+        assert len(records) == n_threads * spans_each
+        assert len({s.span_id for s in records}) == len(records)
+        # Each thread starts a fresh context: all roots, laned by tid.
+        assert all(s.parent_id is None for s in records)
+        assert len({s.tid for s in records}) == n_threads
+
+    def test_nesting_is_per_thread(self):
+        inner_parents = {}
+
+        def worker(i):
+            with span("outer", worker=i):
+                with span("inner", worker=i):
+                    pass
+
+        with tracing() as tracer:
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        outers = {
+            s.tags["worker"]: s for s in tracer.spans() if s.name == "outer"
+        }
+        inner_parents = {
+            s.tags["worker"]: s.parent_id
+            for s in tracer.spans()
+            if s.name == "inner"
+        }
+        for worker_id, parent_id in inner_parents.items():
+            assert parent_id == outers[worker_id].span_id
+
+
+class TestCounters:
+    def test_counter_totals(self):
+        with tracing() as tracer:
+            counter("hits")
+            counter("hits", 2)
+            counter("misses", 1, entry="x")
+        assert tracer.counter_totals() == {"hits": 3, "misses": 1}
+        (tagged,) = [c for c in tracer.counters() if c.name == "misses"]
+        assert tagged.tags == {"entry": "x"}
+
+    def test_clear(self):
+        with tracing() as tracer:
+            with span("s"):
+                counter("c")
+            tracer.clear()
+            assert tracer.spans() == []
+            assert tracer.counters() == []
+
+
+class TestSnapshot:
+    def test_disabled_snapshot(self):
+        assert obs.tracing_snapshot() == {"enabled": False, "spans": 0}
+
+    def test_enabled_snapshot_aggregates(self):
+        with tracing():
+            with span("a"):
+                pass
+            with span("a"):
+                pass
+            counter("hits", 2)
+            snap = obs.tracing_snapshot()
+        assert snap["enabled"] is True
+        assert snap["spans"] == 2
+        assert snap["by_name"]["a"]["count"] == 2
+        assert snap["counters"] == {"hits": 2}

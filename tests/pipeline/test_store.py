@@ -173,6 +173,51 @@ class TestHitCounter:
         assert store.load(key) == PAYLOADS  # payload still served
         assert store.hits_recorded(key) == 1  # counter restarted
 
+    @pytest.mark.parametrize(
+        "content",
+        ['["a", "list"]', '{"hits": null}', '{"hits": "many"}', "{}", ""],
+    )
+    def test_degenerate_stats_reset_to_zero(self, store, content):
+        """Regression: non-dict JSON and non-int hit counts used to
+        raise (AttributeError / TypeError) out of hits_recorded; every
+        shape of damage must read as zero and never crash."""
+        key = make_key()
+        store.save(key, PAYLOADS)
+        (_entry_dir(store, key) / "stats.json").write_text(content)
+        assert store.hits_recorded(key) == 0
+        assert store.load(key) == PAYLOADS
+        assert store.hits_recorded(key) == 1
+
+    def test_negative_hits_clamped(self, store):
+        key = make_key()
+        store.save(key, PAYLOADS)
+        (_entry_dir(store, key) / "stats.json").write_text('{"hits": -4}')
+        assert store.hits_recorded(key) == 0
+
+    def test_racing_readers_lose_no_hits(self, store):
+        """Regression: the hit bump was a read-modify-write without a
+        lock, so concurrent loads silently dropped increments."""
+        key = make_key()
+        store.save(key, PAYLOADS)
+        n_threads, loads_each = 8, 5
+        barrier = threading.Barrier(n_threads)
+        failures = []
+
+        def reader():
+            handle = ArtifactStore(store.root)
+            barrier.wait()
+            for _ in range(loads_each):
+                if handle.load(key) != PAYLOADS:
+                    failures.append("bad payload")
+
+        threads = [threading.Thread(target=reader) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        assert store.hits_recorded(key) == n_threads * loads_each
+
 
 class TestInspection:
     def test_entries_and_find(self, store):

@@ -1,8 +1,11 @@
 """CLI tests (argument parsing, command outputs, exit codes)."""
 
+import json
+import logging
+
 import pytest
 
-from repro import errors
+from repro import errors, obs
 from repro.cli import EXIT_CODES, build_parser, exit_code_for, main
 
 
@@ -288,6 +291,74 @@ class TestCacheCommand:
         args = build_parser().parse_args(["table2", "--jobs", "0"])
         assert args.jobs == 0
         assert args.cache_dir is None
+
+
+class TestTraceFlag:
+    """``--trace PATH`` around experiment commands + ``trace summarize``."""
+
+    @pytest.fixture(autouse=True)
+    def _no_tracer_leaks(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_trace_writes_jsonl_covering_stages(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["calibrate", "occigen", "--cache-dir", str(tmp_path / "c"),
+             "--trace", str(trace)]
+        ) == 0
+        assert "wrote trace" in capsys.readouterr().err
+        assert not obs.is_enabled()  # switch restored after the command
+        _meta, spans, counters = obs.load_jsonl(trace.read_text())
+        names = {s["name"] for s in spans}
+        for stage in ("measure", "calibrate", "predict", "score"):
+            assert f"pipeline.{stage}" in names
+        assert {c["name"] for c in counters} >= {"store.miss", "store.store"}
+
+    def test_trace_json_suffix_writes_chrome(self, tmp_path, capsys):
+        trace = tmp_path / "run.json"
+        assert main(["calibrate", "occigen", "--trace", str(trace)]) == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_summarize_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["calibrate", "occigen", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.calibrate" in out
+        assert "wall %" in out
+
+    def test_summarize_missing_file_exits_13(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "absent.jsonl")])
+        assert code == EXIT_CODES[errors.ObsError] == 13
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_written_even_when_command_fails(self, tmp_path, capsys):
+        trace = tmp_path / "fail.jsonl"
+        code = main(
+            ["predict", "occigen", "-n", "2", "--comp", "9", "--comm", "0",
+             "--trace", str(trace)]
+        )
+        assert code == EXIT_CODES[errors.PlacementError]
+        assert trace.exists()
+
+
+class TestLogLevelFlag:
+    def test_parses_and_configures(self):
+        assert main(["--log-level", "debug", "platforms"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "platforms"])
+
+    def test_debug_run_emits_subsystem_records(self, tmp_path, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            assert main(["--log-level", "debug", "topo", "henri"]) == 0
+        assert any(r.name == "repro.topology" for r in caplog.records)
 
 
 class TestServeQueryParsing:

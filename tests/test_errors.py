@@ -19,6 +19,7 @@ from repro import errors
         errors.AdvisorError,
         errors.ServiceError,
         errors.PipelineError,
+        errors.ObsError,
     ],
 )
 def test_derives_from_repro_error(exc):
