@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import asyncio
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
+
+from _common import best_of, percentile, timed
 
 from repro.bench import SweepConfig
 from repro.evaluation import run_platform_experiment
@@ -67,13 +68,16 @@ def _queries(n_nodes: int) -> list[tuple[int, int, int]]:
     ]
 
 
-def _timed(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
+TIMED_ROUNDS = 3
 
 
-def test_batched_stream_beats_unbatched(benchmark):
+def collect(recorder, benchmark=None) -> None:
+    """The timed stream workload, publishing through one recorder.
+
+    Shared verbatim by the pytest benchmark below (which passes its
+    ``benchmark`` fixture for the pedantic rounds) and by ``repro bench
+    run`` (the BENCH_service.json trajectory).
+    """
     reference = run_platform_experiment(PLATFORM, config=SweepConfig(seed=0))
     n_nodes = reference.model.n_numa_nodes
     queries = _queries(n_nodes)
@@ -116,28 +120,75 @@ def test_batched_stream_beats_unbatched(benchmark):
             r["comp_parallel"] for r in batched()
         ]
 
-        t_unbatched = min(_timed(unbatched) for _ in range(3))
-        t_batched = min(_timed(batched) for _ in range(3))
-        t_coalesced = min(_timed(coalesced) for _ in range(3))
+        # The identity pass above warmed every path; time from here.
+        t_unbatched = best_of(unbatched, rounds=TIMED_ROUNDS, warmup=0)
+        t_batched = best_of(batched, rounds=TIMED_ROUNDS, warmup=0)
+        t_coalesced = best_of(coalesced, rounds=TIMED_ROUNDS, warmup=0)
+        latencies_ms = [
+            timed(
+                lambda q=q: client.predict(
+                    PLATFORM, n=q[0], m_comp=q[1], m_comm=q[2]
+                )
+            ) * 1e3
+            for q in queries
+        ]
 
-        qps_unbatched = N_QUERIES / t_unbatched
-        qps_batched = N_QUERIES / t_batched
-        assert qps_batched > qps_unbatched, (
-            f"batched stream slower than unbatched: "
-            f"{qps_batched:.0f} vs {qps_unbatched:.0f} queries/s"
+        recorder.metric(
+            "unbatched_qps", N_QUERIES / t_unbatched, unit="queries/s",
+            direction="higher", band=1.0,
         )
-
-        batch_sizes = client.metrics()["batching"]["sizes"]
-        benchmark.extra_info.update(
-            {
-                "stream": f"{N_QUERIES} scalar queries",
-                "unbatched_qps": round(qps_unbatched),
-                "batched_qps": round(qps_batched),
-                "coalesced_qps": round(N_QUERIES / t_coalesced),
-                "speedup": round(qps_batched / qps_unbatched, 1),
-                "batch_size_distribution": batch_sizes,
-            }
+        recorder.metric(
+            "batched_qps", N_QUERIES / t_batched, unit="queries/s",
+            direction="higher", band=1.0,
         )
-        benchmark.pedantic(batched, rounds=5, iterations=1)
+        recorder.metric(
+            "coalesced_qps", N_QUERIES / t_coalesced, unit="queries/s",
+            direction="higher", band=1.0,
+        )
+        recorder.metric(
+            "batched_speedup", t_unbatched / t_batched, unit="x",
+            direction="higher", band=1.0,
+        )
+        recorder.metric(
+            "predict_p50_ms", percentile(latencies_ms, 50), unit="ms",
+            direction="lower", band=1.5,
+        )
+        recorder.metric(
+            # p99 of a 64-sample pass is nearly the max: widest band.
+            "predict_p99_ms", percentile(latencies_ms, 99), unit="ms",
+            direction="lower", band=2.5,
+        )
+        recorder.context(
+            stream=f"{N_QUERIES} scalar queries",
+            concurrent_clients=N_CONCURRENT_CLIENTS,
+            timed_rounds=TIMED_ROUNDS,
+            batch_size_distribution=client.metrics()["batching"]["sizes"],
+        )
+        if benchmark is not None:
+            benchmark.pedantic(batched, rounds=5, iterations=1)
     finally:
         server.stop()
+
+
+def test_batched_stream_beats_unbatched(benchmark):
+    from repro.benchtrack import BenchRecorder
+
+    recorder = BenchRecorder()
+    collect(recorder, benchmark)
+    values = recorder.values()
+    assert values["batched_qps"] > values["unbatched_qps"], (
+        f"batched stream slower than unbatched: "
+        f"{values['batched_qps']:.0f} vs {values['unbatched_qps']:.0f} "
+        "queries/s"
+    )
+    benchmark.extra_info.update(
+        {
+            "stream": f"{N_QUERIES} scalar queries",
+            "unbatched_qps": round(values["unbatched_qps"]),
+            "batched_qps": round(values["batched_qps"]),
+            "coalesced_qps": round(values["coalesced_qps"]),
+            "speedup": round(values["batched_speedup"], 1),
+            "predict_p50_ms": round(values["predict_p50_ms"], 3),
+            "predict_p99_ms": round(values["predict_p99_ms"], 3),
+        }
+    )

@@ -1,0 +1,74 @@
+"""repro.benchtrack — the performance-trajectory harness.
+
+Every PR so far claimed its speedups in prose; this package makes them
+machine-checked (docs/BENCHMARKS.md):
+
+* :func:`best_of` / :func:`timed` / :func:`percentile` — the one timing
+  discipline shared by the pytest benchmarks and the runner;
+* :class:`BenchRecorder` / :class:`BenchReport` — metric recording and
+  the versioned ``BENCH_<area>.json`` schema (comparable ``metrics``,
+  non-compared ``context``, never-compared ``environment``);
+* :func:`run_area` / :data:`AREAS` — execute a benchmark module's
+  ``collect(recorder)`` hook under :mod:`repro.obs` tracing and lift
+  the span table into per-stage metrics;
+* :func:`compare_reports` / :func:`load_report` — the regression gate
+  behind ``repro bench compare`` and CI.
+"""
+
+from __future__ import annotations
+
+from repro.benchtrack.compare import (
+    AreaComparison,
+    FAILING_STATUSES,
+    MetricDiff,
+    compare_reports,
+    load_report,
+    parse_report,
+    render_comparison,
+    write_report,
+)
+from repro.benchtrack.record import (
+    DEFAULT_BAND,
+    DIRECTIONS,
+    FORMAT_VERSION,
+    BenchRecorder,
+    BenchReport,
+    Metric,
+    best_of,
+    capture_environment,
+    percentile,
+    timed,
+)
+from repro.benchtrack.runner import (
+    AREAS,
+    AreaSpec,
+    bench_dir,
+    run_area,
+    run_areas,
+)
+
+__all__ = [
+    "AREAS",
+    "AreaComparison",
+    "AreaSpec",
+    "BenchRecorder",
+    "BenchReport",
+    "DEFAULT_BAND",
+    "DIRECTIONS",
+    "FAILING_STATUSES",
+    "FORMAT_VERSION",
+    "Metric",
+    "MetricDiff",
+    "bench_dir",
+    "best_of",
+    "capture_environment",
+    "compare_reports",
+    "load_report",
+    "parse_report",
+    "percentile",
+    "render_comparison",
+    "run_area",
+    "run_areas",
+    "timed",
+    "write_report",
+]

@@ -1,0 +1,350 @@
+"""Diff a fresh benchmark run against a committed ``BENCH_*.json`` baseline.
+
+The gate's contract, metric by metric:
+
+* both values present and positive → the ratio ``fresh / base`` must
+  stay within a factor of ``1 + band`` of 1.0 in either direction (the
+  *baseline's* band: the blessed file is the contract).  Bands are
+  multiplicative because performance numbers are: a band of 0.5 allows
+  [base/1.5, base*1.5], and 0.0 demands an exact match.  Non-positive
+  values fall back to the additive relative change.  Out-of-band in the
+  worse direction is a **regression**; out-of-band in the better
+  direction is flagged too (**improvement**) — a baseline that
+  understates reality is stale and must be re-blessed, otherwise the
+  next real regression hides inside the gap.  Both fail the gate, with
+  different instructions.
+* metric present in the baseline but missing from the fresh run →
+  **removed**, fails: a claim the suite can no longer check.
+* metric present only in the fresh run → **added**, passes with a
+  notice to bless it into the baseline.
+* a ``null`` value on either side → **incomparable**, passes with a
+  notice (e.g. a sample group that was empty this run).
+
+A baseline that cannot be parsed — not JSON, wrong ``format_version``,
+missing or malformed metric fields — is rejected with a
+:class:`~repro.errors.BenchTrackError` naming the file and the defect,
+never silently treated as "no baseline".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.benchtrack.record import (
+    DEFAULT_BAND,
+    DIRECTIONS,
+    FORMAT_VERSION,
+    BenchReport,
+    Metric,
+)
+from repro.errors import BenchTrackError
+
+__all__ = [
+    "AreaComparison",
+    "FAILING_STATUSES",
+    "MetricDiff",
+    "compare_reports",
+    "load_report",
+    "parse_report",
+    "render_comparison",
+    "write_report",
+]
+
+#: Statuses that fail the gate.
+FAILING_STATUSES = ("regression", "improvement", "removed")
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's verdict."""
+
+    name: str
+    #: "ok" | "regression" | "improvement" | "added" | "removed"
+    #: | "incomparable"
+    status: str
+    baseline: float | None
+    fresh: float | None
+    #: Relative change (fresh - base) / |base|; None when incomparable.
+    rel_delta: float | None
+    band: float
+    direction: str
+    unit: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING_STATUSES
+
+
+@dataclass(frozen=True)
+class AreaComparison:
+    """Every metric verdict of one area, plus the overall gate result."""
+
+    area: str
+    diffs: tuple[MetricDiff, ...]
+
+    @property
+    def failures(self) -> tuple[MetricDiff, ...]:
+        return tuple(d for d in self.diffs if d.failed)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+# ---- loading and validating baselines --------------------------------------------
+
+
+def _require(condition: bool, source: str, message: str) -> None:
+    if not condition:
+        raise BenchTrackError(f"malformed benchmark report {source}: {message}")
+
+
+def _number_or_none(value: Any) -> bool:
+    return value is None or (
+        not isinstance(value, bool)
+        and isinstance(value, (int, float))
+        and math.isfinite(value)
+    )
+
+
+def parse_report(text: str, *, source: str = "<memory>") -> BenchReport:
+    """Parse and validate one BENCH_*.json document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchTrackError(
+            f"malformed benchmark report {source}: not valid JSON ({exc})"
+        ) from exc
+    _require(isinstance(document, dict), source, "not a JSON object")
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BenchTrackError(
+            f"malformed benchmark report {source}: format_version "
+            f"{version!r} != {FORMAT_VERSION} — re-bless it with "
+            "`repro bench run --bless`"
+        )
+    area = document.get("area")
+    _require(
+        isinstance(area, str) and bool(area), source, "missing 'area' string"
+    )
+    raw_metrics = document.get("metrics")
+    _require(
+        isinstance(raw_metrics, dict) and bool(raw_metrics),
+        source,
+        "'metrics' must be a non-empty object",
+    )
+    metrics: dict[str, Metric] = {}
+    for name, entry in raw_metrics.items():
+        where = f"metric {name!r}"
+        _require(isinstance(entry, dict), source, f"{where} is not an object")
+        _require(
+            _number_or_none(entry.get("value")),
+            source,
+            f"{where} has a non-numeric value {entry.get('value')!r}",
+        )
+        _require(
+            entry.get("direction") in DIRECTIONS,
+            source,
+            f"{where} has direction {entry.get('direction')!r} "
+            f"(want one of {DIRECTIONS})",
+        )
+        band = entry.get("band")
+        _require(
+            band is None
+            or (_number_or_none(band) and band is not None and band >= 0),
+            source,
+            f"{where} has a bad noise band {band!r}",
+        )
+        _require(
+            isinstance(entry.get("unit"), str),
+            source,
+            f"{where} has no unit string",
+        )
+        value = entry["value"]
+        metrics[name] = Metric(
+            name=name,
+            value=None if value is None else float(value),
+            unit=entry["unit"],
+            direction=entry["direction"],
+            band=None if band is None else float(band),
+        )
+    context = document.get("context", {})
+    _require(isinstance(context, dict), source, "'context' must be an object")
+    environment = document.get("environment", {})
+    _require(
+        isinstance(environment, dict), source, "'environment' must be an object"
+    )
+    return BenchReport(
+        area=area,
+        metrics=metrics,
+        context=context,
+        environment=environment,
+    )
+
+
+def load_report(path: Path | str) -> BenchReport:
+    """Read and validate one BENCH_*.json file."""
+    path = Path(path)
+    try:
+        text = path.read_text("utf-8")
+    except OSError as exc:
+        raise BenchTrackError(
+            f"cannot read benchmark report {path}: {exc}"
+        ) from exc
+    return parse_report(text, source=str(path))
+
+
+def write_report(report: BenchReport, path: Path | str) -> Path:
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json(), "utf-8")
+    except OSError as exc:
+        raise BenchTrackError(
+            f"cannot write benchmark report {path}: {exc}"
+        ) from exc
+    return path
+
+
+# ---- the diff --------------------------------------------------------------------
+
+
+def _diff_metric(
+    name: str,
+    base: Metric | None,
+    fresh: Metric | None,
+    default_band: float,
+) -> MetricDiff:
+    contract = base if base is not None else fresh
+    assert contract is not None  # caller iterates the union of names
+    band = contract.band if contract.band is not None else default_band
+    direction, unit = contract.direction, contract.unit
+    if base is None:
+        return MetricDiff(
+            name, "added", None,
+            fresh.value if fresh else None, None, band, direction, unit,
+        )
+    if fresh is None:
+        return MetricDiff(
+            name, "removed", base.value, None, None, band, direction, unit,
+        )
+    if base.value is None or fresh.value is None:
+        return MetricDiff(
+            name, "incomparable", base.value, fresh.value, None, band,
+            direction, unit,
+        )
+    delta = fresh.value - base.value
+    if base.value == 0.0:
+        rel = 0.0 if delta == 0.0 else math.copysign(math.inf, delta)
+    else:
+        rel = delta / abs(base.value)
+    if base.value > 0.0 and fresh.value > 0.0:
+        # Multiplicative window: within a factor of (1 + band) passes.
+        ratio = fresh.value / base.value
+        limit = (1.0 + band) * (1.0 + 1e-9)
+        within = 1.0 / limit <= ratio <= limit
+        shrank = ratio < 1.0
+    else:
+        within = abs(rel) <= band + 1e-9
+        shrank = rel < 0
+    if within:
+        status = "ok"
+    elif shrank == (direction == "higher"):
+        status = "regression"
+    else:
+        status = "improvement"
+    return MetricDiff(
+        name, status, base.value, fresh.value, rel, band, direction, unit,
+    )
+
+
+def compare_reports(
+    baseline: BenchReport,
+    fresh: BenchReport,
+    *,
+    default_band: float = DEFAULT_BAND,
+) -> AreaComparison:
+    """Every metric of ``fresh`` held against ``baseline``'s contract."""
+    if baseline.area != fresh.area:
+        raise BenchTrackError(
+            f"cannot compare area {fresh.area!r} against a baseline for "
+            f"{baseline.area!r}"
+        )
+    names = sorted(set(baseline.metrics) | set(fresh.metrics))
+    diffs = tuple(
+        _diff_metric(
+            name,
+            baseline.metrics.get(name),
+            fresh.metrics.get(name),
+            default_band,
+        )
+        for name in names
+    )
+    return AreaComparison(area=baseline.area, diffs=diffs)
+
+
+# ---- rendering -------------------------------------------------------------------
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "null"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _verdict_line(diff: MetricDiff) -> str | None:
+    if diff.status == "regression":
+        return (
+            f"FAIL {diff.name}: regressed {abs(diff.rel_delta) * 100:.1f}% "
+            f"— outside the x{1 + diff.band:.2f} noise window "
+            f"({_fmt(diff.baseline)} -> {_fmt(diff.fresh)} {diff.unit}, "
+            f"{diff.direction} is better)"
+        )
+    if diff.status == "improvement":
+        return (
+            f"FAIL {diff.name}: improved {abs(diff.rel_delta) * 100:.1f}% "
+            f"— outside the x{1 + diff.band:.2f} noise window; the "
+            "committed baseline is stale, re-bless it with "
+            "`repro bench run --bless`"
+        )
+    if diff.status == "removed":
+        return (
+            f"FAIL {diff.name}: present in the baseline but not measured "
+            "by the fresh run"
+        )
+    if diff.status == "added":
+        return (
+            f"note {diff.name}: new metric not in the baseline — bless to "
+            "start tracking it"
+        )
+    if diff.status == "incomparable":
+        return f"note {diff.name}: null on one side, skipped"
+    return None
+
+
+def render_comparison(comparison: AreaComparison) -> str:
+    """The readable per-metric report the gate prints."""
+    lines = [
+        f"BENCH_{comparison.area}: {len(comparison.diffs)} metrics vs "
+        f"baseline -> {'PASS' if comparison.passed else 'FAIL'}",
+        f"  {'metric':<36} {'baseline':>12} {'fresh':>12} {'Δ%':>8} "
+        f"{'band%':>6}  status",
+    ]
+    for diff in comparison.diffs:
+        rel = "-" if diff.rel_delta is None else f"{diff.rel_delta * 100:+.1f}"
+        lines.append(
+            f"  {diff.name:<36} {_fmt(diff.baseline):>12} "
+            f"{_fmt(diff.fresh):>12} {rel:>8} {diff.band * 100:>6.0f}  "
+            f"{diff.status}"
+        )
+    for diff in comparison.diffs:
+        verdict = _verdict_line(diff)
+        if verdict is not None:
+            lines.append(verdict)
+    return "\n".join(lines)

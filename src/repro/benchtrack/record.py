@@ -1,0 +1,255 @@
+"""Metric recording and the one timing discipline behind every number.
+
+``BENCH_*.json`` files only mean something if every number in them was
+measured the same way and carries its own comparison contract.  This
+module provides both halves:
+
+* :func:`timed` / :func:`best_of` / :func:`percentile` — the timing
+  helpers every published benchmark number goes through (best-of-N with
+  an explicit warmup count, monotonic clock), shared by the pytest
+  benchmarks in ``benchmarks/`` and the trajectory runner;
+* :class:`BenchRecorder` — what a benchmark's ``collect(recorder)``
+  hook emits metrics through.  Each metric declares its unit, its
+  direction ("higher" or "lower" is better), and its relative noise
+  band, so the comparator never has to guess what a change means;
+* :class:`BenchReport` — the schema-stable document written to
+  ``BENCH_<area>.json``: a ``metrics`` block the comparator diffs, a
+  ``context`` block of non-compared facts (grid sizes, round counts),
+  and an ``environment`` block (host, python, timestamp) that is
+  explicitly *not* comparable and never diffed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform as _platform
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import BenchTrackError
+
+__all__ = [
+    "BenchRecorder",
+    "BenchReport",
+    "DEFAULT_BAND",
+    "DIRECTIONS",
+    "FORMAT_VERSION",
+    "Metric",
+    "best_of",
+    "capture_environment",
+    "percentile",
+    "timed",
+]
+
+#: Bumped whenever the BENCH_*.json layout changes; a baseline written
+#: by another version is rejected with a re-bless instruction rather
+#: than misread.
+FORMAT_VERSION = 1
+
+#: Which way "better" points for a metric.
+DIRECTIONS = ("higher", "lower")
+
+#: Relative noise band used when a metric does not carry its own.
+DEFAULT_BAND = 0.25
+
+_METRIC_NAME = re.compile(r"^[a-z0-9][a-z0-9_.]*$")
+
+
+# ---- timing helpers --------------------------------------------------------------
+
+
+def timed(fn: Callable[[], Any]) -> float:
+    """Wall-clock seconds of one call (monotonic clock)."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def best_of(fn: Callable[[], Any], *, rounds: int, warmup: int = 1) -> float:
+    """Best-of-``rounds`` seconds after ``warmup`` untimed calls.
+
+    The single measurement discipline of the benchmark suite: warmup
+    runs absorb first-call effects (imports, allocator growth, cache
+    fills) so the timed minimum approximates the workload's floor, the
+    statistic least sensitive to scheduler noise.
+    """
+    if rounds < 1:
+        raise BenchTrackError(f"best_of needs rounds >= 1, got {rounds}")
+    if warmup < 0:
+        raise BenchTrackError(f"best_of needs warmup >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    return min(timed(fn) for _ in range(rounds))
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation between ranks)."""
+    if not values:
+        raise BenchTrackError("cannot take a percentile of no samples")
+    if not 0 <= q <= 100:
+        raise BenchTrackError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    position = (len(ordered) - 1) * q / 100.0
+    low = math.floor(position)
+    high = math.ceil(position)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+# ---- the recorded document -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One comparable number with its comparison contract attached."""
+
+    name: str
+    #: ``None`` means "not measured this run" (e.g. an empty sample
+    #: group): serialised as JSON ``null``, skipped by the comparator,
+    #: but always *present* so baseline diffs never KeyError.
+    value: float | None
+    unit: str
+    #: Which direction is an improvement: ``"higher"`` or ``"lower"``.
+    direction: str
+    #: Noise tolerance: a fresh value within a factor of ``1 + band``
+    #: of the baseline (either direction) passes.  ``None`` defers to
+    #: the comparator's default; ``0.0`` demands an exact match — used
+    #: for deterministic counts like cache hits.
+    band: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+            "band": self.band,
+        }
+
+
+def capture_environment() -> dict[str, Any]:
+    """The non-comparable block: where and when the numbers were taken."""
+    now = time.time()
+    return {
+        "host": _platform.node(),
+        "os": _platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "timestamp_unix": round(now, 3),
+        "timestamp_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime(now)
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """Everything one area's ``BENCH_<area>.json`` holds."""
+
+    area: str
+    metrics: Mapping[str, Metric]
+    context: Mapping[str, Any] = field(default_factory=dict)
+    environment: Mapping[str, Any] = field(default_factory=dict)
+    format_version: int = FORMAT_VERSION
+
+    @staticmethod
+    def filename(area: str) -> str:
+        return f"BENCH_{area}.json"
+
+    def to_json(self) -> str:
+        document = {
+            "format_version": self.format_version,
+            "area": self.area,
+            "metrics": {
+                name: metric.as_dict()
+                for name, metric in sorted(self.metrics.items())
+            },
+            "context": dict(self.context),
+            "environment": dict(self.environment),
+        }
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+class BenchRecorder:
+    """What every timed benchmark emits its published numbers through."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._context: dict[str, Any] = {}
+
+    def metric(
+        self,
+        name: str,
+        value: float | None,
+        *,
+        unit: str,
+        direction: str,
+        band: float | None = None,
+    ) -> float | None:
+        """Record one comparable metric; returns ``value`` for reuse."""
+        if not _METRIC_NAME.match(name):
+            raise BenchTrackError(
+                f"invalid metric name {name!r} (want lower-case "
+                "letters/digits/underscores/dots)"
+            )
+        if name in self._metrics:
+            raise BenchTrackError(f"metric {name!r} recorded twice")
+        if direction not in DIRECTIONS:
+            raise BenchTrackError(
+                f"metric {name!r}: direction must be one of {DIRECTIONS}, "
+                f"got {direction!r}"
+            )
+        if band is not None and (
+            isinstance(band, bool) or not isinstance(band, (int, float))
+            or not math.isfinite(band) or band < 0
+        ):
+            raise BenchTrackError(
+                f"metric {name!r}: band must be a non-negative finite "
+                f"number or None, got {band!r}"
+            )
+        if value is not None:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise BenchTrackError(
+                    f"metric {name!r}: value must be a number or None, "
+                    f"got {value!r}"
+                )
+            if not math.isfinite(value):
+                raise BenchTrackError(
+                    f"metric {name!r}: value must be finite, got {value!r}"
+                )
+            value = float(value)
+        self._metrics[name] = Metric(
+            name=name,
+            value=value,
+            unit=unit,
+            direction=direction,
+            band=None if band is None else float(band),
+        )
+        return value
+
+    def context(self, **facts: Any) -> None:
+        """Attach non-compared facts (grid sizes, round counts, …)."""
+        self._context.update(facts)
+
+    def values(self) -> dict[str, float | None]:
+        """Metric name → value, for benchmark assertions on thresholds."""
+        return {name: m.value for name, m in self._metrics.items()}
+
+    def as_report(self, area: str) -> BenchReport:
+        if not self._metrics:
+            raise BenchTrackError(
+                f"area {area!r} recorded no metrics — nothing to publish"
+            )
+        return BenchReport(
+            area=area,
+            metrics=dict(self._metrics),
+            context=dict(self._context),
+            environment=capture_environment(),
+        )

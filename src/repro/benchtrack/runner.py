@@ -1,0 +1,175 @@
+"""Run benchmark areas under tracing and emit ``BENCH_<area>.json``.
+
+An *area* is one benchmark module in ``benchmarks/`` that exposes a
+``collect(recorder)`` hook: the same timed workload its pytest test
+asserts thresholds on, minus the pytest plumbing.  The runner executes
+the hook under a fresh :mod:`repro.obs` tracer, then lifts the span
+table into additional metrics the hook itself never had to think about:
+
+* ``span.<name>.total_ms`` — where the wall-time went, per stage, with
+  a generous timing band;
+* ``span.<name>.calls`` — how often the stage ran: deterministic for a
+  fixed workload, compared exactly (band 0), so a code path silently
+  starting to run twice fails the gate even if it got faster;
+* ``counter.<name>`` — obs counter totals (cache hits/misses/stores),
+  also compared exactly.
+
+The benchmark modules are loaded by file path from the repository's
+``benchmarks/`` directory (with that directory on ``sys.path`` so their
+``from _common import …`` resolves), exactly as pytest loads them.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import repro
+from repro.benchtrack.record import BenchRecorder, BenchReport
+from repro.errors import BenchTrackError
+from repro.obs import summarize_records, tracing
+
+__all__ = ["AREAS", "AreaSpec", "bench_dir", "run_area", "run_areas"]
+
+
+@dataclass(frozen=True)
+class AreaSpec:
+    """One trajectory area: a benchmark module plus its span-table picks."""
+
+    name: str
+    module: str
+    title: str
+    #: Span names lifted into ``span.<name>.total_ms`` / ``.calls``.
+    span_names: tuple[str, ...] = ()
+    #: Counter names lifted into ``counter.<name>`` (compared exactly).
+    counter_names: tuple[str, ...] = ()
+    #: Noise band of the lifted span *timings* (call counts get 0).
+    span_band: float = 1.5
+
+
+AREAS: dict[str, AreaSpec] = {
+    "model_eval": AreaSpec(
+        name="model_eval",
+        module="bench_model_eval",
+        title="vectorized grid evaluation vs the scalar oracle",
+    ),
+    "pipeline": AreaSpec(
+        name="pipeline",
+        module="bench_pipeline",
+        title="cached pipeline: cold vs warm artifact-store runs",
+        span_names=(
+            "pipeline.measure",
+            "pipeline.calibrate",
+            "pipeline.predict",
+            "pipeline.score",
+        ),
+        counter_names=("store.hit", "store.miss", "store.store"),
+    ),
+    "service": AreaSpec(
+        name="service",
+        module="bench_service",
+        title="service throughput: batched vs unbatched streams",
+    ),
+}
+
+
+def bench_dir() -> Path:
+    """The repository's ``benchmarks/`` directory, located from the package."""
+    root = Path(repro.__file__).resolve().parents[2] / "benchmarks"
+    if not root.is_dir():
+        raise BenchTrackError(
+            f"cannot find the benchmarks directory (looked at {root}); "
+            "run from a source checkout with benchmarks/ beside src/"
+        )
+    return root
+
+
+def _load_collect(spec: AreaSpec, directory: Path) -> Callable:
+    path = directory / f"{spec.module}.py"
+    if not path.is_file():
+        raise BenchTrackError(f"benchmark module {path} does not exist")
+    module_name = f"repro_benchtrack_{spec.module}"
+    module = sys.modules.get(module_name)
+    if module is None:
+        loader_spec = importlib.util.spec_from_file_location(module_name, path)
+        if loader_spec is None or loader_spec.loader is None:
+            raise BenchTrackError(f"cannot load benchmark module {path}")
+        module = importlib.util.module_from_spec(loader_spec)
+        # The bench modules import their shared helpers as
+        # ``from _common import …``, same as under pytest's conftest.
+        sys.path.insert(0, str(directory))
+        try:
+            sys.modules[module_name] = module
+            try:
+                loader_spec.loader.exec_module(module)
+            except BaseException:
+                del sys.modules[module_name]
+                raise
+        finally:
+            try:
+                sys.path.remove(str(directory))
+            except ValueError:
+                pass
+    collect = getattr(module, "collect", None)
+    if not callable(collect):
+        raise BenchTrackError(
+            f"benchmark module {path} has no collect(recorder) hook"
+        )
+    return collect
+
+
+def run_area(
+    area: str, *, directory: Path | str | None = None
+) -> BenchReport:
+    """Execute one area's workload under tracing; returns its report."""
+    spec = AREAS.get(area)
+    if spec is None:
+        raise BenchTrackError(
+            f"unknown benchmark area {area!r} "
+            f"(known: {', '.join(sorted(AREAS))})"
+        )
+    directory = Path(directory) if directory is not None else bench_dir()
+    collect = _load_collect(spec, directory)
+    recorder = BenchRecorder()
+    with tracing() as tracer:
+        collect(recorder)
+    summary = summarize_records(tracer.spans(), tracer.counters())
+    by_name = {stats.name: stats for stats in summary.by_name}
+    for span_name in spec.span_names:
+        stats = by_name.get(span_name)
+        recorder.metric(
+            f"span.{span_name}.total_ms",
+            None if stats is None else stats.total_us / 1e3,
+            unit="ms",
+            direction="lower",
+            band=spec.span_band,
+        )
+        recorder.metric(
+            f"span.{span_name}.calls",
+            None if stats is None else float(stats.calls),
+            unit="calls",
+            direction="lower",
+            band=0.0,
+        )
+    totals = dict(summary.counters)
+    for counter_name in spec.counter_names:
+        value = totals.get(counter_name)
+        recorder.metric(
+            f"counter.{counter_name}",
+            value,
+            unit="count",
+            direction="higher",
+            band=0.0,
+        )
+    return recorder.as_report(spec.name)
+
+
+def run_areas(
+    areas: list[str] | None = None, *, directory: Path | str | None = None
+) -> dict[str, BenchReport]:
+    """Run several areas (default: all) in registry order."""
+    names = list(AREAS) if not areas else list(areas)
+    return {name: run_area(name, directory=directory) for name in names}

@@ -43,6 +43,10 @@ Commands
 ``trace summarize <path>``
     Per-span time/percentage table of a ``--trace`` file
     (docs/OBSERVABILITY.md).
+``bench run|compare``
+    Run the performance-trajectory benchmarks, emit/refresh
+    ``BENCH_<area>.json``, and gate on regressions against the
+    committed baselines (docs/BENCHMARKS.md).
 
 Experiment-running commands (``calibrate``, ``predict``, ``figure``,
 ``table2``, ``advise``, ``overlap``, ``sensitivity``, ``diagnose``,
@@ -78,6 +82,7 @@ from repro.errors import (
     AdvisorError,
     ArbitrationError,
     BenchmarkError,
+    BenchTrackError,
     CalibrationError,
     CommunicationError,
     ModelError,
@@ -125,6 +130,7 @@ EXIT_CODES: dict[type, int] = {
     ServiceError: 11,
     PipelineError: 12,
     ObsError: 13,
+    BenchTrackError: 14,
 }
 
 
@@ -320,6 +326,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     csub.add_parser(
         "clear", parents=[cache_opts], help="remove every cached artifact"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="performance-trajectory benchmarks and regression gate"
+    )
+    bench_opts = argparse.ArgumentParser(add_help=False)
+    bench_opts.add_argument(
+        "areas",
+        nargs="*",
+        metavar="AREA",
+        help="benchmark areas (default: all registered areas)",
+    )
+    bench_opts.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path("."),
+        help="directory of the committed BENCH_<area>.json baselines "
+        "(default: current directory)",
+    )
+    bench_opts.add_argument(
+        "--band",
+        type=float,
+        default=None,
+        help="default relative noise band for metrics that do not carry "
+        "their own (default: 0.25)",
+    )
+    bsub = p_bench.add_subparsers(dest="bench_command", required=True)
+    b_run = bsub.add_parser(
+        "run", parents=[bench_opts],
+        help="run the benchmarks and write fresh BENCH_<area>.json files",
+    )
+    b_run.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("bench-results"),
+        help="where fresh reports are written (default: bench-results/)",
+    )
+    b_run.add_argument(
+        "--compare",
+        action="store_true",
+        help="also diff the fresh run against the committed baselines "
+        "and fail on out-of-band changes",
+    )
+    b_run.add_argument(
+        "--bless",
+        action="store_true",
+        help="write the fresh run over the committed baselines instead",
+    )
+    b_cmp = bsub.add_parser(
+        "compare", parents=[bench_opts],
+        help="run the benchmarks and gate against the committed baselines",
+    )
+    b_cmp.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=None,
+        help="compare previously saved BENCH_<area>.json files from this "
+        "directory instead of re-running the benchmarks",
     )
 
     p_trace = sub.add_parser(
@@ -683,6 +747,87 @@ def _cmd_cache(args: argparse.Namespace) -> str:
     raise PipelineError(f"unknown cache command {args.cache_command!r}")
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from repro.benchtrack import (
+        AREAS,
+        DEFAULT_BAND,
+        BenchReport,
+        compare_reports,
+        load_report,
+        render_comparison,
+        run_areas,
+        write_report,
+    )
+
+    if args.band is not None and args.band < 0:
+        raise BenchTrackError(f"--band must be non-negative, got {args.band}")
+    default_band = DEFAULT_BAND if args.band is None else args.band
+    for area in args.areas:
+        if area not in AREAS:
+            raise BenchTrackError(
+                f"unknown benchmark area {area!r} "
+                f"(known: {', '.join(sorted(AREAS))})"
+            )
+    names = list(args.areas) or list(AREAS)
+
+    def gate(fresh: dict) -> str:
+        lines, failures = [], []
+        for name, report in fresh.items():
+            baseline_path = args.baseline_dir / BenchReport.filename(name)
+            if not baseline_path.exists():
+                write_report(report, baseline_path)
+                lines.append(
+                    f"{BenchReport.filename(name)}: no baseline yet — "
+                    f"blessed this run as the first one ({baseline_path})"
+                )
+                continue
+            comparison = compare_reports(
+                load_report(baseline_path), report, default_band=default_band
+            )
+            lines.append(render_comparison(comparison))
+            failures.extend(
+                f"{name}:{diff.name} ({diff.status})"
+                for diff in comparison.failures
+            )
+        if failures:
+            # The per-metric report still reaches the user: the error
+            # path prints only the exception message.
+            print("\n".join(lines), flush=True)
+            raise BenchTrackError(
+                "benchmark gate failed: " + ", ".join(failures)
+            )
+        return "\n".join(lines)
+
+    if args.bench_command == "run":
+        fresh = run_areas(names)
+        lines = []
+        for name, report in fresh.items():
+            path = write_report(
+                report, args.output_dir / BenchReport.filename(name)
+            )
+            lines.append(f"wrote {path}")
+            if args.bless:
+                blessed = write_report(
+                    report, args.baseline_dir / BenchReport.filename(name)
+                )
+                lines.append(f"blessed {blessed}")
+        if args.compare:
+            lines.append(gate(fresh))
+        return "\n".join(lines)
+    if args.bench_command == "compare":
+        if args.fresh_dir is not None:
+            fresh = {
+                name: load_report(
+                    args.fresh_dir / BenchReport.filename(name)
+                )
+                for name in names
+            }
+        else:
+            fresh = run_areas(names)
+        return gate(fresh)
+    raise BenchTrackError(f"unknown bench command {args.bench_command!r}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.obs import summarize_trace_file
 
@@ -806,6 +951,7 @@ _COMMANDS = {
     "export-platform": _cmd_export_platform,
     "check": _cmd_check,
     "report": _cmd_report,
+    "bench": _cmd_bench,
     "cache": _cmd_cache,
     "trace": _cmd_trace,
     "serve": _cmd_serve,

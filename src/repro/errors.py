@@ -21,6 +21,7 @@ __all__ = [
     "ServiceError",
     "PipelineError",
     "ObsError",
+    "BenchTrackError",
 ]
 
 
@@ -84,3 +85,12 @@ class ObsError(ReproError):
     and an enabled one only appends records.  This error covers misuse
     of the surrounding tooling: an unwritable or unparsable trace file,
     an unknown export format or log level."""
+
+
+class BenchTrackError(ReproError):
+    """Raised by the performance-trajectory harness (``repro bench``).
+
+    Covers an unknown benchmark area, a malformed or hand-edited
+    ``BENCH_*.json`` baseline, a misused recorder, and — the one the CI
+    gate exists for — a fresh run that falls outside a committed
+    baseline's noise band."""

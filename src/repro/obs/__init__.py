@@ -33,6 +33,7 @@ from repro.obs.summary import (
     SpanStats,
     TraceSummary,
     render_summary,
+    summarize_records,
     summarize_trace,
     summarize_trace_file,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "load_jsonl",
     "render_summary",
     "span",
+    "summarize_records",
     "summarize_trace",
     "summarize_trace_file",
     "to_chrome_trace",

@@ -12,14 +12,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 from repro.errors import ObsError
 from repro.obs.export import load_jsonl
+from repro.obs.tracer import CounterRecord, SpanRecord
 
 __all__ = [
     "SpanStats",
     "TraceSummary",
     "render_summary",
+    "summarize_records",
     "summarize_trace",
     "summarize_trace_file",
 ]
@@ -54,21 +57,53 @@ def summarize_trace(text: str) -> TraceSummary:
     _meta, spans, counters = load_jsonl(text)
     if not spans and not counters:
         raise ObsError("trace contains no spans or counters to summarize")
+    return _summarize(
+        [
+            (
+                str(s.get("name", "?")),
+                float(s.get("start_us", 0.0)),
+                float(s.get("duration_us", 0.0)),
+            )
+            for s in spans
+        ],
+        [
+            (str(c.get("name", "?")), float(c.get("value", 0.0)))
+            for c in counters
+        ],
+    )
 
+
+def summarize_records(
+    spans: Sequence[SpanRecord],
+    counters: Sequence[CounterRecord] = (),
+) -> TraceSummary:
+    """Aggregate live :class:`Tracer` records (no export round trip).
+
+    The span-table view :mod:`repro.benchtrack` lifts metrics from: the
+    same per-name totals as ``repro trace summarize``, computed straight
+    from ``tracer.spans()`` / ``tracer.counters()``.  An empty record
+    set yields an empty summary rather than raising — a workload that
+    never entered a span is a valid (if quiet) benchmark.
+    """
+    return _summarize(
+        [(s.name, s.start_us, s.duration_us) for s in spans],
+        [(c.name, c.value) for c in counters],
+    )
+
+
+def _summarize(
+    spans: list[tuple[str, float, float]],
+    counters: list[tuple[str, float]],
+) -> TraceSummary:
     wall_us = 0.0
     if spans:
-        start = min(float(s.get("start_us", 0.0)) for s in spans)
-        end = max(
-            float(s.get("start_us", 0.0)) + float(s.get("duration_us", 0.0))
-            for s in spans
-        )
+        start = min(start_us for _, start_us, _ in spans)
+        end = max(start_us + duration_us for _, start_us, duration_us in spans)
         wall_us = max(end - start, 0.0)
 
     grouped: dict[str, list[float]] = {}
-    for record in spans:
-        grouped.setdefault(str(record.get("name", "?")), []).append(
-            float(record.get("duration_us", 0.0))
-        )
+    for name, _, duration_us in spans:
+        grouped.setdefault(name, []).append(duration_us)
     stats = []
     for name, durations in grouped.items():
         total = sum(durations)
@@ -85,9 +120,8 @@ def summarize_trace(text: str) -> TraceSummary:
     stats.sort(key=lambda s: (-s.total_us, s.name))
 
     totals: dict[str, float] = {}
-    for record in counters:
-        name = str(record.get("name", "?"))
-        totals[name] = totals.get(name, 0.0) + float(record.get("value", 0.0))
+    for name, value in counters:
+        totals[name] = totals.get(name, 0.0) + value
 
     return TraceSummary(
         wall_us=wall_us,

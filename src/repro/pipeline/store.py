@@ -70,6 +70,10 @@ class StoreStats:
     misses: int = 0
     stores: int = 0
     discards: int = 0
+    #: Saves that lost the publish race to a concurrent writer.  Kept
+    #: separate from ``stores`` so ``misses == stores + duplicates``
+    #: still reconciles under concurrent writers.
+    duplicates: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -77,6 +81,7 @@ class StoreStats:
             "misses": self.misses,
             "stores": self.stores,
             "discards": self.discards,
+            "duplicates": self.duplicates,
         }
 
 
@@ -254,8 +259,11 @@ class ArtifactStore:
                 except OSError:
                     # A concurrent writer already published this key.  Both
                     # computed the same content-addressed bytes: theirs is
-                    # as good as ours.
+                    # as good as ours.  Counted so the books still balance:
+                    # every save is either a store or a duplicate.
                     shutil.rmtree(tmp_dir, ignore_errors=True)
+                    self.stats.duplicates += 1
+                    counter("store.duplicate", entry=key.entry_id)
                     return
             except Exception:
                 shutil.rmtree(tmp_dir, ignore_errors=True)

@@ -1,0 +1,72 @@
+"""The benchmark suite's shared helpers (``benchmarks/_common.py``).
+
+Loaded the same way the trajectory runner loads bench modules: by file
+path with ``benchmarks/`` on ``sys.path``.
+"""
+
+import sys
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.benchtrack import bench_dir
+
+
+@pytest.fixture(scope="module")
+def common():
+    path = str(bench_dir())
+    sys.path.insert(0, path)
+    try:
+        import _common
+    finally:
+        sys.path.remove(path)
+    return _common
+
+
+def fake_result(keys):
+    """An ExperimentResult stand-in with identical curves/predictions.
+
+    The sample placements are ``(0, 0)`` and ``(2, 2)``; every curve
+    predicts itself perfectly so each group's MAPE is exactly 0.
+    """
+    curve = SimpleNamespace(
+        comm_parallel=np.array([1.0, 2.0]), comp_parallel=np.array([3.0, 4.0])
+    )
+    return SimpleNamespace(
+        platform=SimpleNamespace(
+            sample_local_node=lambda: 0, sample_remote_node=lambda: 2
+        ),
+        dataset=SimpleNamespace(sweep={k: curve for k in keys}),
+        predictions={k: curve for k in keys},
+    )
+
+
+class TestErrorsByGroup:
+    def test_both_groups_present_and_populated(self, common):
+        result = fake_result([(0, 0), (1, 2)])
+        for fn in (common.comm_errors_by_group, common.comp_errors_by_group):
+            grouped = fn(result)
+            assert sorted(grouped) == ["non_samples", "samples"]
+            assert grouped["samples"] == 0.0
+            assert grouped["non_samples"] == 0.0
+
+    def test_empty_group_reads_as_none_not_a_missing_key(self, common):
+        """The regression: an all-samples sweep must still emit both keys."""
+        result = fake_result([(0, 0), (2, 2)])  # only the calibration pair
+        grouped = common.comm_errors_by_group(result)
+        assert sorted(grouped) == ["non_samples", "samples"]
+        assert grouped["samples"] == 0.0
+        assert grouped["non_samples"] is None  # JSON null, never KeyError
+
+    def test_no_keys_at_all_emits_double_null(self, common):
+        grouped = common.comp_errors_by_group(fake_result([]))
+        assert grouped == {"samples": None, "non_samples": None}
+
+    def test_timing_helpers_are_the_benchtrack_ones(self, common):
+        """One timing discipline: _common re-exports repro.benchtrack."""
+        from repro.benchtrack import best_of, percentile, timed
+
+        assert common.best_of is best_of
+        assert common.percentile is percentile
+        assert common.timed is timed

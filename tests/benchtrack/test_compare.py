@@ -1,0 +1,201 @@
+"""The comparator's gate contract, metric verdict by metric verdict."""
+
+import pytest
+
+from repro.benchtrack import (
+    BenchReport,
+    Metric,
+    compare_reports,
+    load_report,
+    parse_report,
+    render_comparison,
+    write_report,
+)
+from repro.errors import BenchTrackError
+
+
+def report(area="demo", **values):
+    """A report whose metrics are (value, direction, band) triples."""
+    metrics = {
+        name: Metric(
+            name=name, value=value, unit="ms", direction=direction, band=band
+        )
+        for name, (value, direction, band) in values.items()
+    }
+    return BenchReport(area=area, metrics=metrics)
+
+
+def diff_of(comparison, name):
+    return next(d for d in comparison.diffs if d.name == name)
+
+
+class TestVerdicts:
+    def test_within_band_passes(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 0.5)),
+            report(t=(140.0, "lower", 0.5)),  # x1.4 < x1.5
+        )
+        assert comparison.passed
+        assert diff_of(comparison, "t").status == "ok"
+
+    def test_beyond_band_regression_fails(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 0.5)),
+            report(t=(160.0, "lower", 0.5)),  # x1.6 > x1.5, slower
+        )
+        assert not comparison.passed
+        assert diff_of(comparison, "t").status == "regression"
+
+    def test_beyond_band_improvement_also_fails(self):
+        """A stale baseline hides the next regression: re-bless, don't pass."""
+        comparison = compare_reports(
+            report(t=(160.0, "lower", 0.5)),
+            report(t=(100.0, "lower", 0.5)),  # faster, but out of band
+        )
+        assert not comparison.passed
+        assert diff_of(comparison, "t").status == "improvement"
+
+    def test_band_is_multiplicative_both_directions(self):
+        """band=1.0 means [base/2, base*2] — NOT 'any shrink passes'."""
+        base = report(qps=(100.0, "higher", 1.0))
+        ok = compare_reports(base, report(qps=(51.0, "higher", 1.0)))
+        assert diff_of(ok, "qps").status == "ok"
+        # An additive band of 1.0 could never flag this: rel = -0.6 and
+        # |rel| <= 1 always holds for a shrinking positive metric.
+        bad = compare_reports(base, report(qps=(40.0, "higher", 1.0)))
+        assert diff_of(bad, "qps").status == "regression"
+
+    def test_band_zero_demands_exact_match(self):
+        base = report(calls=(7.0, "lower", 0.0))
+        assert compare_reports(base, report(calls=(7.0, "lower", 0.0))).passed
+        failed = compare_reports(base, report(calls=(8.0, "lower", 0.0)))
+        assert diff_of(failed, "calls").status == "regression"
+
+    def test_direction_decides_which_side_is_the_regression(self):
+        slower = compare_reports(
+            report(qps=(100.0, "higher", 0.25)),
+            report(qps=(50.0, "higher", 0.25)),
+        )
+        assert diff_of(slower, "qps").status == "regression"
+        faster = compare_reports(
+            report(qps=(50.0, "higher", 0.25)),
+            report(qps=(100.0, "higher", 0.25)),
+        )
+        assert diff_of(faster, "qps").status == "improvement"
+
+    def test_baseline_band_is_the_contract(self):
+        """The blessed file's band wins over the fresh run's."""
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 1.0)),
+            report(t=(180.0, "lower", 0.0)),  # fresh says exact; baseline 1.0
+        )
+        assert diff_of(comparison, "t").status == "ok"
+
+    def test_null_band_defers_to_default(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", None)),
+            report(t=(500.0, "lower", None)),
+            default_band=0.25,
+        )
+        assert diff_of(comparison, "t").status == "regression"
+        assert diff_of(comparison, "t").band == 0.25
+
+    def test_removed_metric_fails(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 0.5), gone=(1.0, "lower", 0.5)),
+            report(t=(100.0, "lower", 0.5)),
+        )
+        assert not comparison.passed
+        assert diff_of(comparison, "gone").status == "removed"
+
+    def test_added_metric_passes_with_notice(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 0.5)),
+            report(t=(100.0, "lower", 0.5), new=(1.0, "lower", 0.5)),
+        )
+        assert comparison.passed
+        assert diff_of(comparison, "new").status == "added"
+        assert "bless" in render_comparison(comparison)
+
+    def test_null_values_are_incomparable_not_failures(self):
+        comparison = compare_reports(
+            report(a=(None, "lower", 0.5), b=(1.0, "lower", 0.5)),
+            report(a=(2.0, "lower", 0.5), b=(None, "lower", 0.5)),
+        )
+        assert comparison.passed
+        assert diff_of(comparison, "a").status == "incomparable"
+        assert diff_of(comparison, "b").status == "incomparable"
+
+    def test_area_mismatch_raises(self):
+        with pytest.raises(BenchTrackError, match="cannot compare"):
+            compare_reports(
+                report(area="pipeline", t=(1.0, "lower", 0.5)),
+                report(area="service", t=(1.0, "lower", 0.5)),
+            )
+
+    def test_render_names_the_failing_metric(self):
+        comparison = compare_reports(
+            report(warm_ms=(10.0, "lower", 0.5)),
+            report(warm_ms=(100.0, "lower", 0.5)),
+        )
+        text = render_comparison(comparison)
+        assert "FAIL warm_ms" in text
+        assert "x1.50" in text
+
+
+class TestMalformedBaselines:
+    def test_not_json(self):
+        with pytest.raises(BenchTrackError, match="not valid JSON"):
+            parse_report("{truncated", source="BENCH_x.json")
+
+    def test_not_an_object(self):
+        with pytest.raises(BenchTrackError, match="not a JSON object"):
+            parse_report("[1, 2]")
+
+    def test_wrong_format_version_says_rebless(self):
+        with pytest.raises(BenchTrackError, match="re-bless"):
+            parse_report(
+                '{"format_version": 99, "area": "x", '
+                '"metrics": {"a": {"value": 1, "unit": "ms", '
+                '"direction": "lower", "band": null}}}'
+            )
+
+    def test_missing_area(self):
+        with pytest.raises(BenchTrackError, match="'area'"):
+            parse_report('{"format_version": 1, "metrics": {"a": {}}}')
+
+    def test_empty_metrics(self):
+        with pytest.raises(BenchTrackError, match="metrics"):
+            parse_report('{"format_version": 1, "area": "x", "metrics": {}}')
+
+    @pytest.mark.parametrize(
+        "entry, defect",
+        [
+            ('{"value": "fast", "unit": "ms", "direction": "lower", '
+             '"band": null}', "non-numeric value"),
+            ('{"value": 1, "unit": "ms", "direction": "up", "band": null}',
+             "direction"),
+            ('{"value": 1, "unit": "ms", "direction": "lower", "band": -1}',
+             "band"),
+            ('{"value": 1, "direction": "lower", "band": null}', "unit"),
+        ],
+    )
+    def test_hand_edited_metric_entries_are_named(self, entry, defect):
+        text = (
+            '{"format_version": 1, "area": "x", "metrics": {"a": '
+            + entry + "}}"
+        )
+        with pytest.raises(BenchTrackError, match=defect) as excinfo:
+            parse_report(text, source="BENCH_x.json")
+        assert "BENCH_x.json" in str(excinfo.value)
+
+    def test_unreadable_file_names_the_path(self, tmp_path):
+        with pytest.raises(BenchTrackError, match="cannot read"):
+            load_report(tmp_path / "BENCH_missing.json")
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        original = report(t=(1.0, "lower", 0.5))
+        path = write_report(original, tmp_path / "BENCH_demo.json")
+        loaded = load_report(path)
+        assert loaded.metrics["t"].value == 1.0
+        assert loaded.area == "demo"

@@ -1,0 +1,121 @@
+"""Recorder, timing helpers, and the BENCH_*.json document shape."""
+
+import json
+import math
+
+import pytest
+
+from repro.benchtrack import (
+    DEFAULT_BAND,
+    FORMAT_VERSION,
+    BenchRecorder,
+    BenchReport,
+    best_of,
+    capture_environment,
+    parse_report,
+    percentile,
+    timed,
+)
+from repro.errors import BenchTrackError
+
+
+class TestTimingHelpers:
+    def test_timed_returns_elapsed_seconds(self):
+        assert timed(lambda: None) >= 0.0
+
+    def test_best_of_counts_calls(self):
+        calls = []
+        best_of(lambda: calls.append(1), rounds=3, warmup=2)
+        assert len(calls) == 5  # 2 warmup + 3 timed
+
+    def test_best_of_rejects_bad_rounds(self):
+        with pytest.raises(BenchTrackError, match="rounds"):
+            best_of(lambda: None, rounds=0)
+        with pytest.raises(BenchTrackError, match="warmup"):
+            best_of(lambda: None, rounds=1, warmup=-1)
+
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_rejects_empty_and_out_of_range(self):
+        with pytest.raises(BenchTrackError, match="no samples"):
+            percentile([], 50)
+        with pytest.raises(BenchTrackError, match=r"\[0, 100\]"):
+            percentile([1.0], 101)
+
+
+class TestBenchRecorder:
+    def test_metric_returns_value_and_values_maps(self):
+        recorder = BenchRecorder()
+        assert (
+            recorder.metric("a_ms", 1.5, unit="ms", direction="lower") == 1.5
+        )
+        recorder.metric("rate", None, unit="ratio", direction="higher")
+        assert recorder.values() == {"a_ms": 1.5, "rate": None}
+
+    def test_rejects_bad_names(self):
+        recorder = BenchRecorder()
+        for bad in ("", "Upper", "has space", "_leading", "-dash"):
+            with pytest.raises(BenchTrackError, match="invalid metric name"):
+                recorder.metric(bad, 1.0, unit="ms", direction="lower")
+
+    def test_rejects_duplicates(self):
+        recorder = BenchRecorder()
+        recorder.metric("a", 1.0, unit="ms", direction="lower")
+        with pytest.raises(BenchTrackError, match="recorded twice"):
+            recorder.metric("a", 2.0, unit="ms", direction="lower")
+
+    def test_rejects_bad_direction_band_value(self):
+        recorder = BenchRecorder()
+        with pytest.raises(BenchTrackError, match="direction"):
+            recorder.metric("a", 1.0, unit="ms", direction="up")
+        with pytest.raises(BenchTrackError, match="band"):
+            recorder.metric("b", 1.0, unit="ms", direction="lower", band=-0.1)
+        with pytest.raises(BenchTrackError, match="finite"):
+            recorder.metric("c", math.inf, unit="ms", direction="lower")
+        with pytest.raises(BenchTrackError, match="number or None"):
+            recorder.metric("d", "fast", unit="ms", direction="lower")
+
+    def test_empty_recorder_cannot_publish(self):
+        with pytest.raises(BenchTrackError, match="no metrics"):
+            BenchRecorder().as_report("demo")
+
+    def test_report_round_trips_through_parse(self):
+        recorder = BenchRecorder()
+        recorder.metric("a_ms", 1.25, unit="ms", direction="lower", band=0.5)
+        recorder.metric("empty", None, unit="pct", direction="lower")
+        recorder.context(grid="4x4", rounds=3)
+        report = recorder.as_report("demo")
+        parsed = parse_report(report.to_json(), source="round-trip")
+        assert parsed.area == "demo"
+        assert parsed.metrics["a_ms"].value == 1.25
+        assert parsed.metrics["a_ms"].band == 0.5
+        assert parsed.metrics["empty"].value is None
+        assert parsed.context == {"grid": "4x4", "rounds": 3}
+
+    def test_document_layout_is_schema_stable(self):
+        recorder = BenchRecorder()
+        recorder.metric("a_ms", 1.0, unit="ms", direction="lower")
+        document = json.loads(recorder.as_report("demo").to_json())
+        assert sorted(document) == [
+            "area", "context", "environment", "format_version", "metrics",
+        ]
+        assert document["format_version"] == FORMAT_VERSION
+        assert sorted(document["metrics"]["a_ms"]) == [
+            "band", "direction", "unit", "value",
+        ]
+
+    def test_filename(self):
+        assert BenchReport.filename("pipeline") == "BENCH_pipeline.json"
+
+
+class TestEnvironment:
+    def test_environment_block_is_never_comparable(self):
+        env = capture_environment()
+        for field in ("host", "os", "python", "numpy", "timestamp_iso"):
+            assert field in env
+        # Sanity of the default band constant the comparator falls back to.
+        assert 0 < DEFAULT_BAND < 1

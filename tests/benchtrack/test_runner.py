@@ -1,0 +1,161 @@
+"""The trajectory runner (span lifting) and the `repro bench` gate flow."""
+
+import json
+
+import pytest
+
+from repro.benchtrack import AREAS, AreaSpec, bench_dir, run_area
+from repro.cli import main
+from repro.errors import BenchTrackError
+
+FAKE_BENCH = '''\
+from repro.obs import counter, span
+
+
+def collect(recorder):
+    with span("demo.work"):
+        counter("demo.count")
+        counter("demo.count")
+    recorder.metric("answer", 42.0, unit="x", direction="higher", band=0.0)
+    recorder.context(note="fake workload")
+'''
+
+
+@pytest.fixture
+def fake_area(tmp_path, monkeypatch):
+    (tmp_path / "bench_fake.py").write_text(FAKE_BENCH, "utf-8")
+    spec = AreaSpec(
+        name="fake",
+        module="bench_fake",
+        title="a tiny deterministic workload",
+        span_names=("demo.work", "demo.never_ran"),
+        counter_names=("demo.count",),
+        span_band=1.0,
+    )
+    monkeypatch.setitem(AREAS, "fake", spec)
+    return tmp_path
+
+
+class TestRunner:
+    def test_unknown_area(self):
+        with pytest.raises(BenchTrackError, match="unknown benchmark area"):
+            run_area("bogus")
+
+    def test_bench_dir_points_at_the_checkout(self):
+        assert (bench_dir() / "bench_pipeline.py").is_file()
+
+    def test_run_area_lifts_spans_and_counters(self, fake_area):
+        report = run_area("fake", directory=fake_area)
+        assert report.area == "fake"
+        metrics = report.metrics
+        assert metrics["answer"].value == 42.0
+        # The span the workload hit: timed (wide band) + exact call count.
+        assert metrics["span.demo.work.total_ms"].value >= 0.0
+        assert metrics["span.demo.work.total_ms"].band == 1.0
+        assert metrics["span.demo.work.calls"].value == 1.0
+        assert metrics["span.demo.work.calls"].band == 0.0
+        # A registered span that never ran stays present as null.
+        assert metrics["span.demo.never_ran.total_ms"].value is None
+        assert metrics["counter.demo.count"].value == 2.0
+        assert report.context == {"note": "fake workload"}
+
+    def test_module_without_collect_hook(self, tmp_path, monkeypatch):
+        (tmp_path / "bench_bare.py").write_text("x = 1\n", "utf-8")
+        monkeypatch.setitem(
+            AREAS, "bare", AreaSpec(name="bare", module="bench_bare", title="")
+        )
+        with pytest.raises(BenchTrackError, match="collect"):
+            run_area("bare", directory=tmp_path)
+
+
+def write_fresh(directory, area="pipeline", value=10.0, band=0.5):
+    """A hand-built BENCH_<area>.json standing in for a fresh run."""
+    document = {
+        "format_version": 1,
+        "area": area,
+        "metrics": {
+            "warm_ms": {
+                "value": value, "unit": "ms", "direction": "lower",
+                "band": band,
+            }
+        },
+        "context": {},
+        "environment": {"host": "test"},
+    }
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{area}.json"
+    path.write_text(json.dumps(document) + "\n", "utf-8")
+    return path
+
+
+class TestCliGate:
+    """`repro bench compare --fresh-dir` exercises the gate end to end
+    without re-running the benchmarks."""
+
+    def test_missing_baseline_blesses_first_run(self, tmp_path, capsys):
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        write_fresh(tmp_path / "fresh")
+        code = main([
+            "bench", "compare", "pipeline",
+            "--baseline-dir", str(baseline_dir),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "blessed this run as the first one" in capsys.readouterr().out
+        assert (baseline_dir / "BENCH_pipeline.json").is_file()
+
+    def test_within_band_passes(self, tmp_path, capsys):
+        write_fresh(tmp_path / "base", value=10.0)
+        write_fresh(tmp_path / "fresh", value=13.0)  # x1.3 < x1.5
+        code = main([
+            "bench", "compare", "pipeline",
+            "--baseline-dir", str(tmp_path / "base"),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_beyond_band_fails_naming_the_metric(self, tmp_path, capsys):
+        write_fresh(tmp_path / "base", value=10.0)
+        write_fresh(tmp_path / "fresh", value=40.0)  # x4 regression
+        code = main([
+            "bench", "compare", "pipeline",
+            "--baseline-dir", str(tmp_path / "base"),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 14
+        captured = capsys.readouterr()
+        assert "FAIL warm_ms" in captured.out
+        assert "pipeline:warm_ms (regression)" in captured.err
+
+    def test_malformed_baseline_is_an_error_not_a_miss(self, tmp_path, capsys):
+        base = tmp_path / "base"
+        base.mkdir()
+        (base / "BENCH_pipeline.json").write_text("{broken", "utf-8")
+        write_fresh(tmp_path / "fresh")
+        code = main([
+            "bench", "compare", "pipeline",
+            "--baseline-dir", str(base),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 14
+        assert "malformed benchmark report" in capsys.readouterr().err
+
+    def test_unknown_area_rejected(self, tmp_path, capsys):
+        code = main([
+            "bench", "compare", "bogus",
+            "--baseline-dir", str(tmp_path),
+            "--fresh-dir", str(tmp_path),
+        ])
+        assert code == 14
+        assert "unknown benchmark area" in capsys.readouterr().err
+
+    def test_negative_band_rejected(self, tmp_path, capsys):
+        code = main([
+            "bench", "compare", "pipeline", "--band", "-0.5",
+            "--baseline-dir", str(tmp_path),
+            "--fresh-dir", str(tmp_path),
+        ])
+        assert code == 14
+        assert "--band" in capsys.readouterr().err

@@ -300,3 +300,41 @@ class TestConcurrentWriters:
             assert store.load(k) == {
                 "data.json": json.dumps({"k": k.fingerprint})
             }
+
+    def test_second_save_is_a_duplicate_not_a_silent_drop(self, store):
+        """Losing the publish race must bump ``duplicates``, not vanish."""
+        key = make_key()
+        store.save(key, PAYLOADS)
+        store.save(key, PAYLOADS)  # entry exists: the rename loses
+        assert store.stats.stores == 1
+        assert store.stats.duplicates == 1
+        assert store.load(key) == PAYLOADS
+
+    def test_racing_writers_reconcile_the_books(self, store):
+        """Across all handles, stores + duplicates == saves attempted."""
+        key = make_key()
+        n_writers = 8
+        handles = [ArtifactStore(store.root) for _ in range(n_writers)]
+        barrier = threading.Barrier(n_writers)
+        errors = []
+
+        def writer(handle):
+            barrier.wait()
+            try:
+                handle.save(key, PAYLOADS)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(h,)) for h in handles
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stores = sum(h.stats.stores for h in handles)
+        duplicates = sum(h.stats.duplicates for h in handles)
+        assert stores == 1  # exactly one rename can win
+        assert stores + duplicates == n_writers
+        assert store.load(key) == PAYLOADS
