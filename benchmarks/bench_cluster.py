@@ -1,0 +1,264 @@
+"""Cluster scale-out: aggregate predictions/sec, 4 workers vs 1.
+
+The artefact guarded here is the cluster PR's claim: putting N worker
+processes behind the shard router multiplies aggregate prediction
+throughput (one Python process is GIL-bound; the fleet is not), while
+keeping tail latency and the error budget intact.
+
+Method: both fleets are driven by the *same* client harness — one load
+process per client slot (``multiprocessing``, because a single client
+process would itself be GIL-bound and under-report the fleet) — against
+
+* a 1-worker fleet (the single-process baseline), then
+* a 4-worker fleet, measured both direct-to-workers (fleet capacity)
+  and through the router (the proxy users actually hit).
+
+Workers warm-start from a pre-seeded artifact store, so calibration
+never pollutes the throughput window.
+
+``cluster_speedup`` is hardware-honest: the ≥3x scale-out assertion is
+made only where it is physically possible (``cpu_count >= 4``); on
+smaller hosts the benchmark still runs, records the measured ratio, and
+asserts only sanity (the fleet must not collapse).  The recorded
+environment block carries ``cpu_count`` so a baseline taken on a small
+host is read accordingly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.bench import SweepConfig
+from repro.cluster import (
+    ClusterRouter,
+    LoadReport,
+    PredictWorkload,
+    Supervisor,
+    run_load,
+)
+from repro.evaluation import run_platform_experiment
+
+PLATFORM = "occigen"
+SEED = 0
+TOTAL_PER_PHASE = 320
+CLIENT_PROCS = 4
+STREAMS_PER_CLIENT = 4
+CLUSTER_WORKERS = 4
+REPLICATION = 2
+
+
+class _RouterThread:
+    """The router on its own event-loop thread, as `cluster serve` runs it."""
+
+    def __init__(self, supervisor: Supervisor) -> None:
+        self._supervisor = supervisor
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.router: ClusterRouter | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+
+    def start(self) -> "_RouterThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "router did not start"
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self.router = ClusterRouter(self._supervisor, port=0)
+        await self.router.start()
+        self.loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.router.run_until_shutdown()
+        await self.router.shutdown()
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.router.request_shutdown)
+        self._thread.join(10)
+
+
+def _noop(_: int) -> None:
+    return None
+
+
+def _run_one(args: tuple[PredictWorkload, int, int]) -> LoadReport:
+    workload, total, concurrency = args
+    return run_load(workload, total=total, concurrency=concurrency)
+
+
+def _drive(pool: ProcessPoolExecutor, ports: list[int]) -> LoadReport:
+    """The one measured harness: CLIENT_PROCS load processes, round-robin
+    over ``ports``, wall-clocked from the parent."""
+    jobs = [
+        (
+            PredictWorkload(
+                port=ports[i % len(ports)], platform=PLATFORM, seed=SEED
+            ),
+            TOTAL_PER_PHASE // CLIENT_PROCS,
+            STREAMS_PER_CLIENT,
+        )
+        for i in range(CLIENT_PROCS)
+    ]
+    started = time.perf_counter()
+    reports = list(pool.map(_run_one, jobs))
+    wall = time.perf_counter() - started
+    combined = LoadReport()
+    for report in reports:
+        combined.merge(report)
+    combined.duration_s = wall
+    return combined
+
+
+def collect(recorder, benchmark=None) -> None:
+    cpu_count = os.cpu_count() or 1
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as cache_dir:
+        # Seed the shared store once: every worker warm-starts from it.
+        run_platform_experiment(
+            PLATFORM, config=SweepConfig(seed=SEED), cache_dir=cache_dir
+        )
+
+        with ProcessPoolExecutor(CLIENT_PROCS) as pool:
+            # Spawn + numpy imports of the client processes happen here,
+            # outside every timing window.
+            list(pool.map(_noop, range(CLIENT_PROCS)))
+
+            # Phase 1: the single-process baseline.
+            single = Supervisor(
+                workers=1,
+                replication=1,
+                cache_dir=cache_dir,
+                preload=[(PLATFORM, SEED)],
+            )
+            single.start()
+            try:
+                single.wait_ready()
+                single_report = _drive(
+                    pool, [single.handle("w0").port]
+                )
+            finally:
+                single.stop()
+
+            # Phase 2: the 4-worker fleet, direct and through the router.
+            fleet = Supervisor(
+                workers=CLUSTER_WORKERS,
+                replication=REPLICATION,
+                cache_dir=cache_dir,
+                preload=[(PLATFORM, SEED)],
+            )
+            fleet.start()
+            router_thread = None
+            try:
+                fleet.wait_ready()
+                ports = [h.port for _, h in sorted(fleet.handles.items())]
+                direct_report = _drive(pool, ports)
+                router_thread = _RouterThread(fleet).start()
+                router_report = _drive(pool, [router_thread.router.port])
+            finally:
+                if router_thread is not None:
+                    router_thread.stop()
+                fleet.stop()
+
+    speedup = (
+        direct_report.qps / single_report.qps if single_report.qps else 0.0
+    )
+    # Wide bands: throughput depends on the host's core count, and the
+    # committed baseline may come from a smaller machine than CI (the
+    # environment block records cpu_count).  The gate still catches a
+    # collapse (order-of-magnitude) while tolerating hardware spread.
+    recorder.metric(
+        "single_qps", single_report.qps, unit="requests/s",
+        direction="higher", band=9.0,
+    )
+    recorder.metric(
+        "cluster_direct_qps", direct_report.qps, unit="requests/s",
+        direction="higher", band=9.0,
+    )
+    recorder.metric(
+        "cluster_router_qps", router_report.qps, unit="requests/s",
+        direction="higher", band=9.0,
+    )
+    recorder.metric(
+        "cluster_speedup", speedup, unit="x", direction="higher", band=9.0,
+    )
+    recorder.metric(
+        "router_p50_ms", router_report.latency_ms(50), unit="ms",
+        direction="lower", band=6.0,
+    )
+    recorder.metric(
+        "router_p99_ms", router_report.latency_ms(99), unit="ms",
+        direction="lower", band=6.0,
+    )
+    # Deterministic health contract: nothing may fail or shed at this
+    # load level, on any hardware.  Exact comparison (band 0).
+    failed_total = (
+        single_report.failed + direct_report.failed + router_report.failed
+    )
+    shed_total = single_report.shed + direct_report.shed + router_report.shed
+    recorder.metric(
+        "failed_requests", float(failed_total), unit="count",
+        direction="lower", band=0.0,
+    )
+    recorder.metric(
+        "shed_requests", float(shed_total), unit="count",
+        direction="lower", band=0.0,
+    )
+    recorder.context(
+        platform=PLATFORM,
+        cluster_workers=CLUSTER_WORKERS,
+        replication=REPLICATION,
+        total_per_phase=TOTAL_PER_PHASE,
+        client_processes=CLIENT_PROCS,
+        streams_per_client=STREAMS_PER_CLIENT,
+        cpu_count=cpu_count,
+        single_p99_ms=round(single_report.latency_ms(99), 3),
+        direct_p99_ms=round(direct_report.latency_ms(99), 3),
+    )
+    if benchmark is not None:
+        # One representative unit for pytest-benchmark's own table: a
+        # router-path load slice against the (now stopped) fleet is not
+        # re-runnable, so stash the numbers instead.
+        benchmark.extra_info.update(
+            {
+                "single_qps": round(single_report.qps),
+                "cluster_direct_qps": round(direct_report.qps),
+                "cluster_router_qps": round(router_report.qps),
+                "speedup": round(speedup, 2),
+            }
+        )
+
+
+def test_cluster_scales_out(benchmark):
+    from repro.benchtrack import BenchRecorder
+
+    recorder = BenchRecorder()
+    # pytest-benchmark needs at least one timed round; time a trivial
+    # closure around the full collection so the fixture stays satisfied
+    # without re-running the multi-minute fleet workload.
+    benchmark.pedantic(lambda: collect(recorder), rounds=1, iterations=1)
+    values = recorder.values()
+
+    # Zero client-visible failures, always, everywhere.
+    assert values["failed_requests"] == 0.0
+    assert values["shed_requests"] == 0.0
+
+    # The scale-out claim is asserted only where it is physically
+    # possible: 4 workers cannot beat 1 on a single core.
+    if (os.cpu_count() or 1) >= 4:
+        assert values["cluster_speedup"] >= 3.0, (
+            f"4-worker fleet only {values['cluster_speedup']:.2f}x over "
+            "single-process"
+        )
+    else:
+        assert values["cluster_speedup"] > 0.3, (
+            "fleet collapsed: "
+            f"{values['cluster_speedup']:.2f}x of single-process"
+        )
+    benchmark.extra_info.update(
+        {name: round(value, 2) for name, value in values.items()}
+    )

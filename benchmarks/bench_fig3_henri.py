@@ -13,7 +13,52 @@ Paper shape claims checked here (§IV-B a):
 import numpy as np
 
 from repro.evaluation import mape
-from _common import comm_errors_by_group, run_figure_pipeline, stash_errors
+from _common import comm_errors_by_group, run_figure_pipeline, stash_errors, timed
+
+
+def collect(recorder, benchmark=None) -> None:
+    """Perf-trajectory hook: one full henri figure pipeline, timed.
+
+    Joins the figure benchmarks to the versioned ``BENCH_*.json``
+    trajectory: wall time with a wide band (shared-runner noise), and
+    the regenerated Table II error row with a tight band — accuracy is
+    deterministic for a fixed seed, but BLAS/CPU variation across hosts
+    keeps exact float comparison off the table.
+    """
+    holder: dict = {}
+    duration_s = timed(
+        lambda: holder.setdefault("result", run_figure_pipeline("henri"))
+    )
+    result = holder["result"]
+    recorder.metric(
+        "pipeline_wall_ms", duration_s * 1e3, unit="ms", direction="lower",
+        band=2.5,
+    )
+    grouped = comm_errors_by_group(result)
+    errors = result.errors
+    recorder.metric(
+        "comm_samples_err_pct", grouped["samples"], unit="%",
+        direction="lower", band=0.05,
+    )
+    recorder.metric(
+        "comm_non_samples_err_pct", grouped["non_samples"], unit="%",
+        direction="lower", band=0.05,
+    )
+    recorder.metric(
+        "comp_all_err_pct", errors.comp_all, unit="%", direction="lower",
+        band=0.05,
+    )
+    recorder.metric(
+        "average_err_pct", errors.average, unit="%", direction="lower",
+        band=0.05,
+    )
+    recorder.context(
+        platform="henri",
+        seed=1,
+        placements=len(result.dataset.sweep),
+        local_model=result.model.local.summary(),
+        remote_model=result.model.remote.summary(),
+    )
 
 
 def test_fig3_henri(benchmark):

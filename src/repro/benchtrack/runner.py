@@ -73,6 +73,26 @@ AREAS: dict[str, AreaSpec] = {
         module="bench_service",
         title="service throughput: batched vs unbatched streams",
     ),
+    "cluster": AreaSpec(
+        name="cluster",
+        module="bench_cluster",
+        title="cluster scale-out: 4-worker fleet vs single process",
+        # No span lifts: the workers are subprocesses, so the parent
+        # tracer never sees their pipeline/service spans.
+    ),
+    "fig3_henri": AreaSpec(
+        name="fig3_henri",
+        module="bench_fig3_henri",
+        title="figure 3 pipeline: wall time and Table II error row",
+        span_names=(
+            "pipeline.measure",
+            "pipeline.calibrate",
+            "pipeline.predict",
+            "pipeline.score",
+        ),
+        # No store counters: the figure pipeline runs uncached
+        # (cache_dir=None), so no store.* counters ever fire.
+    ),
 }
 
 

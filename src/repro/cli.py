@@ -34,10 +34,13 @@ Commands
     Run all platforms and verify the structural Table II claims.
 ``report [--output PATH]``
     Generate the full EXPERIMENTS.md report.
-``serve [--host H] [--port P] [--cache-dir D]``
+``serve [--host H] [--port P] [--cache-dir D] [--preload P[:S] ...]``
     Run the contention-prediction service (docs/SERVICE.md).
 ``query <endpoint> ...``
     Query a running prediction service over HTTP.
+``cluster serve|status|loadgen``
+    Scale-out serving: a supervised multi-worker fleet behind a
+    sharding router, plus the SLO load harness (docs/CLUSTER.md).
 ``cache ls|info|clear``
     Inspect or clear the pipeline artifact cache (docs/PIPELINE.md).
 ``trace summarize <path>``
@@ -84,6 +87,7 @@ from repro.errors import (
     BenchmarkError,
     BenchTrackError,
     CalibrationError,
+    ClusterError,
     CommunicationError,
     ModelError,
     ObsError,
@@ -131,6 +135,7 @@ EXIT_CODES: dict[type, int] = {
     PipelineError: 12,
     ObsError: 13,
     BenchTrackError: 14,
+    ClusterError: 15,
 }
 
 
@@ -423,6 +428,97 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--no-batching", action="store_true",
         help="disable coalescing of concurrent scalar predictions",
+    )
+    p_serve.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="PLATFORM[:SEED]",
+        help="hydrate a model before accepting traffic (repeatable); "
+        "with --cache-dir this is a warm start from the artifact store",
+    )
+
+    p_cluster = sub.add_parser(
+        "cluster", help="sharded multi-worker serving tier"
+    )
+    clsub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+    cl_serve = clsub.add_parser(
+        "serve", help="run N supervised workers behind a sharding router"
+    )
+    cl_serve.add_argument("--host", default="127.0.0.1")
+    cl_serve.add_argument(
+        "--port", type=int, default=8080,
+        help="router port (0 picks an ephemeral port)",
+    )
+    cl_serve.add_argument(
+        "--workers", type=int, default=3, help="worker process count"
+    )
+    cl_serve.add_argument(
+        "--replication", type=int, default=2,
+        help="owners per (platform, seed) shard key",
+    )
+    cl_serve.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="shared pipeline artifact cache (required: it is the "
+        "warm-restart medium; defaults to $REPRO_CACHE_DIR when set)",
+    )
+    cl_serve.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="PLATFORM[:SEED]",
+        help="models each owning worker hydrates before taking traffic "
+        "(repeatable)",
+    )
+    cl_serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request timeout inside each worker (s)",
+    )
+    cl_serve.add_argument(
+        "--max-concurrency", type=int, default=64,
+        help="per-worker in-flight limit; beyond it workers shed with 503",
+    )
+    cl_serve.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="restarts before a crash-looping worker is retired",
+    )
+    cl_status = clsub.add_parser(
+        "status", help="summarize a running cluster via its router"
+    )
+    cl_status.add_argument("--host", default="127.0.0.1")
+    cl_status.add_argument("--port", type=int, default=8080)
+    cl_status.add_argument("--timeout", type=float, default=10.0)
+    cl_load = clsub.add_parser(
+        "loadgen", help="drive load at a service and grade it against an SLO"
+    )
+    cl_load.add_argument("--host", default="127.0.0.1")
+    cl_load.add_argument("--port", type=int, default=8080)
+    cl_load.add_argument(
+        "--platform", default="occigen", choices=platform_names()
+    )
+    cl_load.add_argument(
+        "--total", type=int, default=200, help="total requests to send"
+    )
+    cl_load.add_argument(
+        "--concurrency", type=int, default=8, help="parallel request streams"
+    )
+    cl_load.add_argument("--timeout", type=float, default=30.0)
+    cl_load.add_argument(
+        "--p99-ms", type=float, default=250.0, help="SLO: p99 latency bound"
+    )
+    cl_load.add_argument(
+        "--error-budget", type=float, default=0.01,
+        help="SLO: tolerated failed-request fraction",
+    )
+    cl_load.add_argument(
+        "--max-shed-rate", type=float, default=0.25,
+        help="SLO: tolerated 503 (load-shed) fraction",
+    )
+    cl_load.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when the SLO verdict fails",
     )
 
     p_query = sub.add_parser("query", help="query a running service")
@@ -836,6 +932,23 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     raise ObsError(f"unknown trace command {args.trace_command!r}")
 
 
+def _parse_preload_keys(values: list[str]) -> list[tuple[str, int]]:
+    """``PLATFORM[:SEED]`` strings -> ``(platform, seed)`` keys."""
+    keys: list[tuple[str, int]] = []
+    for value in values:
+        platform, _, seed_text = value.partition(":")
+        if not platform:
+            raise ServiceError(f"malformed --preload value {value!r}")
+        try:
+            seed = int(seed_text) if seed_text else 0
+        except ValueError:
+            raise ServiceError(
+                f"malformed --preload seed in {value!r}"
+            ) from None
+        keys.append((platform, seed))
+    return keys
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
     import signal
@@ -843,6 +956,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     from repro.service.server import ContentionService
 
     cache_dir = _resolve_cache_dir(args)
+    preload_keys = _parse_preload_keys(args.preload)
 
     async def _serve() -> None:
         service = ContentionService(
@@ -853,6 +967,14 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             batching=not args.no_batching,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
         )
+        if preload_keys:
+            # Before start(): the first request must already be a hit.
+            loaded = service.registry.preload(preload_keys)
+            print(
+                f"preloaded {len(loaded)} model(s): "
+                + ", ".join(f"{p}:{s}" for p, s in preload_keys),
+                flush=True,
+            )
         await service.start()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -878,6 +1000,129 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     except KeyboardInterrupt:
         pass
     return "shutdown complete"
+
+
+def _cmd_cluster(args: argparse.Namespace) -> str:
+    import json as _json
+
+    if args.cluster_command == "serve":
+        return _cmd_cluster_serve(args)
+    if args.cluster_command == "status":
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        health = client.healthz()
+        lines = [
+            f"cluster at http://{args.host}:{args.port}: {health['status']} "
+            f"({health['workers_alive']} alive, shard-map "
+            f"v{health['shard_version']})",
+            f"{'worker':<8} {'address':<22} {'pid':>7} {'state':<8} "
+            f"{'restarts':>8}",
+        ]
+        for worker in health["workers"]:
+            state = (
+                "retired"
+                if worker["retired"]
+                else ("up" if worker["alive"] else "down")
+            )
+            lines.append(
+                f"{worker['worker_id']:<8} "
+                f"{worker['host']}:{worker['port']:<16} "
+                f"{worker['pid'] or '-':>7} {state:<8} "
+                f"{worker['restarts']:>8}"
+            )
+        return "\n".join(lines)
+    if args.cluster_command == "loadgen":
+        from repro.cluster import PredictWorkload, SloTarget, run_load
+
+        workload = PredictWorkload(
+            host=args.host,
+            port=args.port,
+            platform=args.platform,
+            seed=args.seed,
+            timeout_s=args.timeout,
+        )
+        report = run_load(
+            workload, total=args.total, concurrency=args.concurrency
+        )
+        verdict = report.slo_verdict(
+            SloTarget(
+                p99_ms=args.p99_ms,
+                error_budget=args.error_budget,
+                max_shed_rate=args.max_shed_rate,
+            )
+        )
+        output = _json.dumps(
+            {"load": report.summary(), "slo": verdict}, indent=2
+        )
+        if args.check and not verdict["ok"]:
+            print(output, flush=True)
+            failed = [
+                name
+                for name, check in verdict["checks"].items()
+                if not check["ok"]
+            ]
+            raise ClusterError("SLO violated: " + ", ".join(failed))
+        return output
+    raise ClusterError(f"unknown cluster command {args.cluster_command!r}")
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> str:
+    import asyncio
+    import signal
+
+    from repro.cluster import ClusterRouter, Supervisor
+
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        raise ClusterError(
+            "cluster serve needs a shared artifact cache: pass --cache-dir "
+            "or set $REPRO_CACHE_DIR"
+        )
+    supervisor = Supervisor(
+        workers=args.workers,
+        replication=args.replication,
+        cache_dir=cache_dir,
+        host=args.host,
+        preload=_parse_preload_keys(args.preload),
+        request_timeout_s=args.timeout,
+        max_concurrency=args.max_concurrency,
+        max_restarts=args.max_restarts,
+    )
+    supervisor.start()
+    try:
+        supervisor.wait_ready()
+
+        async def _serve() -> None:
+            router = ClusterRouter(
+                supervisor, host=args.host, port=args.port
+            )
+            await router.start()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, router.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-Unix event loop; Ctrl-C still raises
+            print(
+                f"routing {len(supervisor.shardmap)} workers "
+                f"(replication {args.replication}) on "
+                f"http://{router.host}:{router.port}",
+                flush=True,
+            )
+            try:
+                await router.run_until_shutdown()
+            except KeyboardInterrupt:
+                pass
+            await router.shutdown()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+    finally:
+        supervisor.stop()
+    return "cluster shutdown complete"
 
 
 def _cmd_query(args: argparse.Namespace) -> str:
@@ -955,6 +1200,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "query": _cmd_query,
 }
 

@@ -1,0 +1,218 @@
+"""Shard-aware cluster client: route around the router.
+
+The router is a correct but shared front door; a client that knows the
+shard map can skip the extra proxy hop and talk straight to the worker
+that owns its key.  :class:`ClusterClient` fetches ``GET /shards`` from
+the router once, rebuilds the *identical* :class:`ShardMap` locally
+(the spec is deterministic — see ``repro.cluster.shardmap``) and then
+sends each request directly to the key's owners, walking replicas on
+connection failure exactly like the router would.
+
+Consistency is eventual by design: when the fleet changes (a worker
+retired, the map rebalanced), the client notices via failed connections
+or a bumped ``version`` and re-fetches the table.  Requests issued
+against a stale map still succeed — every worker can serve any key
+(the registry lazily hydrates from the shared store); routing is a
+performance hint, not a correctness requirement.  The router remains
+the final fallback when every known replica is unreachable.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Sequence
+
+from repro.errors import ClusterError
+from repro.cluster.shardmap import ShardMap
+from repro.service.client import ServiceClient, ServiceResponseError
+
+__all__ = ["ClusterClient"]
+
+log = logging.getLogger("repro.cluster")
+
+
+class ClusterClient:
+    """Blocking client that routes requests to shard owners directly."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        timeout: float = 30.0,
+        worker_retries: int = 0,
+    ) -> None:
+        self._router = ServiceClient(host, port, timeout=timeout)
+        self._timeout = timeout
+        self._worker_retries = worker_retries
+        self._shardmap: ShardMap | None = None
+        #: worker_id -> (host, port), from the last /shards fetch.
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._clients: dict[str, ServiceClient] = {}
+
+    # ---- routing table ---------------------------------------------------------
+
+    def refresh(self) -> ShardMap:
+        """(Re-)fetch the routing table from the router."""
+        table = self._router._request("GET", "/shards")
+        try:
+            shardmap = ShardMap.from_spec(table["shardmap"])
+            addresses = {
+                worker_id: (info["host"], int(info["port"]))
+                for worker_id, info in table["workers"].items()
+                if not info.get("retired")
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ClusterError(
+                f"malformed /shards response from the router: {exc}"
+            ) from exc
+        self._shardmap = shardmap
+        self._addresses = addresses
+        self._clients = {
+            wid: client
+            for wid, client in self._clients.items()
+            if self._addresses.get(wid) == (client._host, client._port)
+        }
+        return shardmap
+
+    @property
+    def shardmap(self) -> ShardMap:
+        if self._shardmap is None:
+            self.refresh()
+        return self._shardmap
+
+    def _client_for(self, worker_id: str) -> ServiceClient:
+        client = self._clients.get(worker_id)
+        if client is None:
+            host, port = self._addresses[worker_id]
+            client = ServiceClient(
+                host,
+                port,
+                timeout=self._timeout,
+                retries=self._worker_retries,
+            )
+            self._clients[worker_id] = client
+        return client
+
+    # ---- routed dispatch -------------------------------------------------------
+
+    def _routed(
+        self,
+        platform: str,
+        seed: int,
+        call: "Callable[[ServiceClient], dict | list]",
+    ) -> "dict | list":
+        """Try each owner directly, then fall back to the router.
+
+        A :class:`ServiceResponseError` is an *answer* (the worker
+        spoke HTTP) and propagates immediately; only transport-level
+        ``ServiceError`` moves the walk to the next replica.  Any
+        direct-path failure triggers a table refresh for next time.
+        """
+        owners: "tuple[str, ...]" = ()
+        try:
+            owners = self.shardmap.owners(platform, seed)
+        except ClusterError:
+            pass
+        stale = False
+        for worker_id in owners:
+            if worker_id not in self._addresses:
+                stale = True
+                continue
+            try:
+                return call(self._client_for(worker_id))
+            except ServiceResponseError:
+                raise
+            except Exception:  # noqa: BLE001 — transport error: next replica
+                stale = True
+                log.debug(
+                    "direct path to %s failed for %s:%d; trying next replica",
+                    worker_id,
+                    platform,
+                    seed,
+                )
+        if stale:
+            try:
+                self.refresh()
+            except Exception:  # noqa: BLE001 — router probed again below
+                pass
+        # The router re-runs the same owner walk server-side and knows
+        # about restarts the client has not observed yet.
+        return call(self._router)
+
+    # ---- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._router.healthz()
+
+    def metrics(self) -> dict:
+        return self._router.metrics()
+
+    def shards(self) -> dict:
+        return self._router._request("GET", "/shards")
+
+    def calibrate(self, platform: str, *, seed: int = 0) -> dict:
+        return self._routed(
+            platform, seed, lambda c: c.calibrate(platform, seed=seed)
+        )
+
+    def predict(
+        self, platform: str, *, n: int, m_comp: int, m_comm: int, seed: int = 0
+    ) -> dict:
+        return self._routed(
+            platform,
+            seed,
+            lambda c: c.predict(
+                platform, n=n, m_comp=m_comp, m_comm=m_comm, seed=seed
+            ),
+        )
+
+    def predict_many(
+        self,
+        platform: str,
+        queries: Sequence[tuple[int, int, int]],
+        *,
+        seed: int = 0,
+    ) -> list[dict]:
+        return self._routed(
+            platform,
+            seed,
+            lambda c: c.predict_many(platform, queries, seed=seed),
+        )
+
+    def predict_grid(
+        self,
+        platform: str,
+        core_counts: Sequence[int],
+        *,
+        placements: Sequence[tuple[int, int]] | None = None,
+        seed: int = 0,
+    ) -> dict:
+        return self._routed(
+            platform,
+            seed,
+            lambda c: c.predict_grid(
+                platform, core_counts, placements=placements, seed=seed
+            ),
+        )
+
+    def advise(
+        self,
+        platform: str,
+        *,
+        comp_bytes: float,
+        comm_bytes: float,
+        top: int = 5,
+        seed: int = 0,
+    ) -> dict:
+        return self._routed(
+            platform,
+            seed,
+            lambda c: c.advise(
+                platform,
+                comp_bytes=comp_bytes,
+                comm_bytes=comm_bytes,
+                top=top,
+                seed=seed,
+            ),
+        )

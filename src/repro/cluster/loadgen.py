@@ -1,0 +1,215 @@
+"""SLO load harness: drive a service (or cluster) and grade the answer.
+
+The serving tier's contract is not "fast on average" but "fast at the
+tail, available under failure, shedding instead of melting under
+overload".  :func:`run_load` measures exactly those terms:
+
+* **latency distribution** — per-request wall time, reported as
+  p50/p95/p99/max (computed with the shared
+  :func:`repro.benchtrack.record.percentile`);
+* **error budget** — requests answered with a transport failure or a
+  non-shed error response count against :class:`SloTarget.error_budget`;
+* **shed rate** — 503s are counted separately: a service refusing load
+  it cannot carry is *healthy* back-pressure, and the SLO bounds how
+  much of it is acceptable rather than calling it failure.
+
+The workload is a plain picklable dataclass so a driver can fan it out
+over threads here and over processes in ``benchmarks/bench_cluster.py``
+(a single Python process cannot saturate a multi-worker fleet through
+one GIL).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError, ServiceError
+from repro.benchtrack.record import percentile
+from repro.service.client import ServiceClient, ServiceResponseError
+
+__all__ = ["PredictWorkload", "LoadReport", "SloTarget", "run_load"]
+
+#: Query mix cycled by each load worker: (n_cores, m_comp, m_comm).
+DEFAULT_QUERIES: tuple[tuple[int, int, int], ...] = (
+    (4, 0, 0),
+    (8, 0, 1),
+    (12, 1, 0),
+    (16, 1, 1),
+    (24, 0, 0),
+)
+
+
+@dataclass(frozen=True)
+class PredictWorkload:
+    """One reproducible stream of ``/predict`` requests against a host."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    platform: str = "occigen"
+    seed: int = 0
+    queries: tuple[tuple[int, int, int], ...] = DEFAULT_QUERIES
+    timeout_s: float = 30.0
+    retries: int = 0
+
+    def client(self) -> ServiceClient:
+        return ServiceClient(
+            self.host, self.port, timeout=self.timeout_s, retries=self.retries
+        )
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """The service-level objective a load run is graded against."""
+
+    p99_ms: float = 250.0
+    #: Fraction of requests allowed to fail outright.
+    error_budget: float = 0.01
+    #: Fraction of requests the service may shed (503) before the run
+    #: counts as an availability violation rather than back-pressure.
+    max_shed_rate: float = 0.25
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    requests: int = 0
+    ok: int = 0
+    failed: int = 0
+    shed: int = 0
+    duration_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.failed / self.requests if self.requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return percentile(self.latencies_ms, q)
+
+    def merge(self, other: "LoadReport") -> None:
+        """Fold a concurrently collected report into this one.
+
+        Durations do not add: overlapped streams share the wall clock,
+        so the caller owns ``duration_s`` and this keeps the max.
+        """
+        self.requests += other.requests
+        self.ok += other.ok
+        self.failed += other.failed
+        self.shed += other.shed
+        self.duration_s = max(self.duration_s, other.duration_s)
+        self.latencies_ms.extend(other.latencies_ms)
+
+    def slo_verdict(self, target: SloTarget) -> dict:
+        """Grade this run: every SLO term with its measured value."""
+        p99 = self.latency_ms(99)
+        checks = {
+            "p99_ms": {
+                "target": target.p99_ms,
+                "measured": round(p99, 3),
+                "ok": p99 <= target.p99_ms,
+            },
+            "error_rate": {
+                "target": target.error_budget,
+                "measured": round(self.error_rate, 5),
+                "ok": self.error_rate <= target.error_budget,
+            },
+            "shed_rate": {
+                "target": target.max_shed_rate,
+                "measured": round(self.shed_rate, 5),
+                "ok": self.shed_rate <= target.max_shed_rate,
+            },
+        }
+        return {
+            "ok": all(c["ok"] for c in checks.values()),
+            "checks": checks,
+        }
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "failed": self.failed,
+            "shed": self.shed,
+            "duration_s": round(self.duration_s, 4),
+            "qps": round(self.qps, 2),
+            "p50_ms": round(self.latency_ms(50), 3),
+            "p95_ms": round(self.latency_ms(95), 3),
+            "p99_ms": round(self.latency_ms(99), 3),
+            "max_ms": round(self.latency_ms(100), 3),
+            "error_rate": round(self.error_rate, 5),
+            "shed_rate": round(self.shed_rate, 5),
+        }
+
+
+def _run_stream(workload: PredictWorkload, total: int) -> LoadReport:
+    """One thread's request stream: ``total`` predicts, round-robin mix."""
+    client = workload.client()
+    report = LoadReport()
+    started = time.perf_counter()
+    for i in range(total):
+        n, m_comp, m_comm = workload.queries[i % len(workload.queries)]
+        sent = time.perf_counter()
+        try:
+            client.predict(
+                workload.platform,
+                n=n,
+                m_comp=m_comp,
+                m_comm=m_comm,
+                seed=workload.seed,
+            )
+            report.ok += 1
+        except ServiceResponseError as exc:
+            if exc.status == 503:
+                report.shed += 1  # back-pressure, not failure
+            else:
+                report.failed += 1
+        except ServiceError:
+            report.failed += 1
+        report.requests += 1
+        report.latencies_ms.append((time.perf_counter() - sent) * 1e3)
+    report.duration_s = time.perf_counter() - started
+    return report
+
+
+def run_load(
+    workload: PredictWorkload,
+    *,
+    total: int = 200,
+    concurrency: int = 8,
+) -> LoadReport:
+    """Drive ``total`` requests at ``concurrency`` parallel streams.
+
+    The report's ``duration_s`` is the overall wall time (streams
+    overlap), so ``qps`` is the aggregate rate the target sustained.
+    """
+    if total < 1:
+        raise ClusterError(f"total must be >= 1, got {total}")
+    if concurrency < 1:
+        raise ClusterError(f"concurrency must be >= 1, got {concurrency}")
+    concurrency = min(concurrency, total)
+    per_stream = [
+        total // concurrency + (1 if i < total % concurrency else 0)
+        for i in range(concurrency)
+    ]
+    combined = LoadReport()
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for report in pool.map(
+            lambda count: _run_stream(workload, count), per_stream
+        ):
+            combined.merge(report)
+    combined.duration_s = time.perf_counter() - started
+    return combined

@@ -19,6 +19,7 @@ __all__ = [
     "CommunicationError",
     "AdvisorError",
     "ServiceError",
+    "ClusterError",
     "PipelineError",
     "ObsError",
     "BenchTrackError",
@@ -67,6 +68,16 @@ class AdvisorError(ReproError):
 
 class ServiceError(ReproError):
     """Raised by the prediction service for malformed or unservable requests."""
+
+
+class ClusterError(ReproError):
+    """Raised by the scale-out serving tier (supervisor, router, loadgen).
+
+    Covers cluster misconfiguration (a worker count or replication
+    factor that cannot shard, an unusable port), a supervisor that
+    cannot spawn or restart a worker, and a load-generator run that is
+    impossible to execute.  Per-request unavailability never raises
+    this inside the router — it is answered as a 503 JSON envelope."""
 
 
 class PipelineError(ReproError):

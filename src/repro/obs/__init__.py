@@ -32,6 +32,7 @@ from repro.obs.logsetup import LOG_LEVELS, configure_logging
 from repro.obs.summary import (
     SpanStats,
     TraceSummary,
+    merge_tracing_snapshots,
     render_summary,
     summarize_records,
     summarize_trace,
@@ -65,6 +66,7 @@ __all__ = [
     "get_tracer",
     "is_enabled",
     "load_jsonl",
+    "merge_tracing_snapshots",
     "render_summary",
     "span",
     "summarize_records",

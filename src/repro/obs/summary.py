@@ -21,11 +21,48 @@ from repro.obs.tracer import CounterRecord, SpanRecord
 __all__ = [
     "SpanStats",
     "TraceSummary",
+    "merge_tracing_snapshots",
     "render_summary",
     "summarize_records",
     "summarize_trace",
     "summarize_trace_file",
 ]
+
+
+def merge_tracing_snapshots(snapshots: "Sequence[dict]") -> dict:
+    """Fold several ``tracing_snapshot()`` dicts into one fleet view.
+
+    The cluster router scrapes each worker's ``/metrics`` and merges
+    the per-process ``tracing`` blocks into one table: span call counts
+    and total milliseconds summed per name, counters summed per name.
+    Workers with tracing disabled (or an unreachable scrape that yielded
+    no block) contribute nothing; ``enabled`` reports whether *any*
+    worker traced, and ``workers_enabled`` how many did.
+    """
+    by_name: dict[str, dict[str, float]] = {}
+    counters: dict[str, float] = {}
+    spans_total = 0
+    workers_enabled = 0
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict) or not snapshot.get("enabled"):
+            continue
+        workers_enabled += 1
+        spans_total += int(snapshot.get("spans", 0))
+        for name, entry in (snapshot.get("by_name") or {}).items():
+            merged = by_name.setdefault(name, {"count": 0, "total_ms": 0.0})
+            merged["count"] += int(entry.get("count", 0))
+            merged["total_ms"] += float(entry.get("total_ms", 0.0))
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+    for entry in by_name.values():
+        entry["total_ms"] = round(entry["total_ms"], 3)
+    return {
+        "enabled": workers_enabled > 0,
+        "workers_enabled": workers_enabled,
+        "spans": spans_total,
+        "by_name": dict(sorted(by_name.items())),
+        "counters": dict(sorted(counters.items())),
+    }
 
 
 @dataclass(frozen=True)

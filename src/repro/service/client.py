@@ -9,17 +9,32 @@ Errors come back typed: a non-2xx response raises
 :class:`ServiceResponseError`, whose ``error_type`` carries the server
 -side :class:`~repro.errors.ReproError` subclass name from the JSON
 error envelope.
+
+Transient connection failures can be retried: with ``retries=N`` a
+request that dies on ``ConnectionRefusedError`` or
+``ConnectionResetError`` — the two signatures of a worker that is
+restarting or a router failing over — is re-issued up to N more times
+under capped exponential backoff.  Off by default (``retries=0``):
+every endpoint is a read or an idempotent cache fill, but plain
+clients should not mask a dead service behind silent retry latency
+unless they opt in.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Sequence
 
 from repro.errors import ServiceError
 
 __all__ = ["ServiceClient", "ServiceResponseError"]
+
+#: The connection failures worth retrying: the peer was absent
+#: (refused) or died mid-exchange (reset).  Anything else — timeouts,
+#: DNS, protocol garbage — stays fatal on the first occurrence.
+_RETRYABLE = (ConnectionRefusedError, ConnectionResetError)
 
 
 class ServiceResponseError(ServiceError):
@@ -36,15 +51,44 @@ class ServiceClient:
     """Thin blocking wrapper over the JSON API."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8080, *, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
     ) -> None:
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._retries = retries
+        self._backoff_s = backoff_s
+        self._backoff_cap_s = backoff_cap_s
 
     # ---- transport -------------------------------------------------------------
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        delay = self._backoff_s
+        for attempt in range(self._retries + 1):
+            try:
+                return self._request_once(method, path, body)
+            except _RETRYABLE as exc:
+                if attempt == self._retries:
+                    raise ServiceError(
+                        f"cannot reach service at {self._host}:{self._port} "
+                        f"after {attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(delay * 2, self._backoff_cap_s)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
@@ -58,6 +102,8 @@ class ServiceClient:
                 connection.request(method, path, body=payload, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
+            except _RETRYABLE:
+                raise  # the retry loop in _request owns these
             except (ConnectionError, OSError, http.client.HTTPException) as exc:
                 raise ServiceError(
                     f"cannot reach service at {self._host}:{self._port}: {exc}"

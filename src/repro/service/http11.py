@@ -1,0 +1,207 @@
+"""Minimal HTTP/1.1 framing shared by the service and the cluster tier.
+
+One connection carries one JSON request and one JSON response
+(``Connection: close``), which keeps the parser small enough to audit:
+a request line, up to :data:`MAX_HEADER_LINES` headers of which only
+``Content-Length`` matters, and an exact-length body.
+
+Three parties speak this dialect:
+
+* :class:`~repro.service.server.ContentionService` — the worker-side
+  server (``read_request`` / ``write_response``);
+* :class:`~repro.cluster.router.ClusterRouter` — both sides: it reads
+  client requests with ``read_request`` and forwards them to workers
+  with :func:`request`, the stream-based client half;
+* the stdlib ``http.client`` used by :class:`ServiceClient`, which
+  interoperates because this *is* plain HTTP/1.1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_LINES",
+    "REASONS",
+    "encode_request",
+    "read_request",
+    "request",
+    "write_response",
+]
+
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_LINES = 100
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """Protocol-level failure with a fixed HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+# ---- server half -----------------------------------------------------------------
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """Parse one request off a stream -> ``(method, path, body)``.
+
+    Raises :class:`HttpError` for malformed framing; propagates
+    ``IncompleteReadError``/``ConnectionError`` when the peer vanishes.
+    The query string, if any, is stripped — the API is body-driven.
+    """
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        raise HttpError(400, "empty request")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    content_length = 0
+    for _ in range(MAX_HEADER_LINES):
+        line = (await reader.readline()).decode("latin-1")
+        if line in ("\r\n", "\n", ""):
+            break
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise HttpError(400, "invalid Content-Length") from None
+    else:
+        raise HttpError(400, "too many headers")
+    if content_length > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    path = target.split("?", 1)[0]
+    return method, path, body
+
+
+def encode_response(status: int, body: bytes) -> bytes:
+    """One complete JSON response as wire bytes."""
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, status: int, payload: dict | bytes
+) -> None:
+    """Serialise and send one response; a vanished client is not an error."""
+    body = (
+        payload
+        if isinstance(payload, bytes)
+        else json.dumps(payload).encode("utf-8")
+    )
+    try:
+        writer.write(encode_response(status, body))
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass  # client went away; nothing to salvage
+
+
+# ---- client half (used by the router to reach workers) ---------------------------
+
+
+def encode_request(method: str, path: str, body: bytes | None) -> bytes:
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        "Host: cluster\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {0 if body is None else len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + (body or b"")
+
+
+async def _request_on_stream(
+    host: str, port: int, method: str, path: str, body: bytes | None
+) -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(encode_request(method, path, body))
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1").strip()
+        parts = status_line.split(maxsplit=2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise HttpError(502, f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        content_length: int | None = None
+        for _ in range(MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise HttpError(502, "invalid Content-Length") from None
+        else:
+            raise HttpError(502, "too many headers in response")
+        if content_length is not None:
+            if content_length > MAX_BODY_BYTES:
+                raise HttpError(502, "response body too large")
+            payload = await reader.readexactly(content_length)
+        else:
+            payload = await reader.read(MAX_BODY_BYTES + 1)
+            if len(payload) > MAX_BODY_BYTES:
+                raise HttpError(502, "response body too large")
+        return status, payload
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    *,
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    """One async request -> ``(status, raw body)``.
+
+    Connection-level failures propagate as their concrete ``OSError``
+    subclasses (``ConnectionRefusedError``, ``ConnectionResetError``,
+    ``asyncio.TimeoutError``…) so callers can distinguish a dead peer —
+    the router's failover trigger — from an HTTP-level error response,
+    which is returned, never raised.
+    """
+    return await asyncio.wait_for(
+        _request_on_stream(host, port, method, path, body), timeout=timeout
+    )

@@ -55,6 +55,9 @@ class ServiceMetrics:
         self.registry_waits = 0  # joined an in-flight calibration
         self.registry_evictions = 0
         self.calibrations_total = 0
+        #: Entries hydrated synchronously by ``ModelRegistry.preload``
+        #: (a subset of ``calibrations_total``).
+        self.preloads_total = 0
         # Batching.
         self.batches_total = 0
         self.batched_queries_total = 0
@@ -122,6 +125,7 @@ class ServiceMetrics:
                 "waits": self.registry_waits,
                 "evictions": self.registry_evictions,
                 "calibrations": self.calibrations_total,
+                "preloads": self.preloads_total,
             },
             "batching": {
                 "batches": self.batches_total,

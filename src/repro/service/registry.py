@@ -23,7 +23,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.bench.config import SweepConfig
 from repro.core.placement import PlacementModel
@@ -115,6 +115,46 @@ class ModelRegistry:
 
     def cached(self, platform: str, seed: int = 0) -> bool:
         return ModelKey(platform, seed) in self._entries
+
+    # ---- warm start ------------------------------------------------------------
+
+    def preload(
+        self, keys: "Iterable[ModelKey | tuple[str, int]]"
+    ) -> list[ModelEntry]:
+        """Hydrate entries synchronously, before any event loop exists.
+
+        The worker warm-start path: a cluster worker calls this on the
+        main thread *before* accepting traffic, so its first request is
+        a registry hit.  With a ``cache_dir``-backed calibrator and a
+        populated store, each key is a file read, not a re-calibration
+        — a restarted worker comes back warm in milliseconds.
+
+        Deliberately bypasses the asyncio single-flight machinery: no
+        loop is running yet, and strict serial execution keeps startup
+        deterministic.  Already-cached keys are skipped (and freshened
+        in LRU order); returns the entries actually loaded.
+        """
+        loaded: list[ModelEntry] = []
+        for raw in keys:
+            key = (
+                raw
+                if isinstance(raw, ModelKey)
+                else ModelKey(str(raw[0]), int(raw[1]))
+            )
+            if key.platform not in platform_names():
+                get_platform(key.platform)  # raises TopologyError
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                continue
+            entry = self._run_calibrator(key)
+            self._metrics.calibrations_total += 1
+            self._metrics.preloads_total += 1
+            self._entries[key] = entry
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._metrics.registry_evictions += 1
+            loaded.append(entry)
+        return loaded
 
     # ---- the cache -------------------------------------------------------------
 

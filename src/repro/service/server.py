@@ -32,37 +32,13 @@ from repro.errors import ReproError, ServiceError
 from repro.obs import span
 from repro.service import protocol
 from repro.service.batching import PredictBatcher
+from repro.service.http11 import HttpError, read_request, write_response
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import ModelEntry, ModelRegistry
 
 __all__ = ["ContentionService"]
 
 log = logging.getLogger("repro.service")
-
-_MAX_BODY_BYTES = 1 << 20
-_MAX_HEADER_LINES = 100
-
-
-class _HttpError(Exception):
-    """Protocol-level failure with a fixed HTTP status."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    408: "Request Timeout",
-    413: "Payload Too Large",
-    422: "Unprocessable Entity",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
 
 
 class ContentionService:
@@ -180,9 +156,9 @@ class ContentionService:
     ) -> None:
         try:
             try:
-                method, path, body = await self._read_request(reader)
-            except _HttpError as exc:
-                await self._respond(
+                method, path, body = await read_request(reader)
+            except HttpError as exc:
+                await write_response(
                     writer,
                     exc.status,
                     protocol.error_payload(
@@ -199,38 +175,6 @@ class ContentionService:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
-        request_line = (await reader.readline()).decode("latin-1").strip()
-        if not request_line:
-            raise _HttpError(400, "empty request")
-        parts = request_line.split()
-        if len(parts) != 3:
-            raise _HttpError(400, f"malformed request line {request_line!r}")
-        method, target, _version = parts
-        content_length = 0
-        for _ in range(_MAX_HEADER_LINES):
-            line = (await reader.readline()).decode("latin-1")
-            if line in ("\r\n", "\n", ""):
-                break
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(400, "invalid Content-Length") from None
-        else:
-            raise _HttpError(400, "too many headers")
-        if content_length > _MAX_BODY_BYTES:
-            raise _HttpError(413, "request body too large")
-        body = (
-            await reader.readexactly(content_length) if content_length else b""
-        )
-        # Strip any query string; the API is body-driven.
-        path = target.split("?", 1)[0]
-        return method, path, body
 
     async def _dispatch(
         self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
@@ -251,13 +195,13 @@ class ContentionService:
                     ServiceError(f"unknown endpoint {path}"), status=404
                 )
             self.metrics.observe_request(endpoint, status, 0.0)
-            await self._respond(writer, status, payload)
+            await write_response(writer, status, payload)
             return
 
         if self.metrics.in_flight >= self._max_concurrency:
             self.metrics.rejected_total += 1
             self.metrics.observe_request(endpoint, 503, 0.0)
-            await self._respond(
+            await write_response(
                 writer,
                 503,
                 protocol.error_payload(
@@ -307,25 +251,7 @@ class ContentionService:
         self.metrics.observe_request(
             endpoint, status, time.perf_counter() - started
         )
-        await self._respond(writer, status, payload)
-
-    async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        reason = _REASONS.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        ).encode("latin-1")
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            pass  # client went away; nothing to salvage
+        await write_response(writer, status, payload)
 
     # ---- endpoint handlers -----------------------------------------------------
 

@@ -1,0 +1,139 @@
+"""ShardMap: stability, replication, determinism of the consistent ring.
+
+The load-bearing claims (ISSUE acceptance): adding or removing one
+worker moves only ~1/N of keys, replica sets never collapse onto one
+worker, and a spec round trip reproduces every owner.
+"""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.cluster.shardmap import ShardMap
+
+#: A synthetic keyspace large enough for stable movement statistics.
+KEYS = [("occigen", seed) for seed in range(300)] + [
+    ("henri", seed) for seed in range(300)
+]
+
+
+def primaries(shardmap: ShardMap) -> dict:
+    return {key: shardmap.primary(*key) for key in KEYS}
+
+
+class TestMembershipStability:
+    def test_add_worker_moves_about_one_nth(self):
+        for n in (3, 4, 5):
+            shardmap = ShardMap([f"w{i}" for i in range(n)])
+            before = primaries(shardmap)
+            shardmap.add_worker("wnew")
+            after = primaries(shardmap)
+            moved = [k for k in KEYS if before[k] != after[k]]
+            # Ideal movement is 1/(n+1); allow 2x for hash variance.
+            assert len(moved) / len(KEYS) < 2.0 / (n + 1)
+            assert len(moved) > 0
+            # Every moved key moved TO the new worker, never between
+            # survivors — the definition of consistent hashing.
+            assert all(after[k] == "wnew" for k in moved)
+
+    def test_remove_worker_moves_only_its_keys(self):
+        shardmap = ShardMap(["w0", "w1", "w2", "w3"])
+        before = primaries(shardmap)
+        shardmap.remove_worker("w2")
+        after = primaries(shardmap)
+        for key in KEYS:
+            if before[key] == "w2":
+                assert after[key] != "w2"
+            else:
+                assert after[key] == before[key]
+
+    def test_version_bumps_on_change(self):
+        shardmap = ShardMap(["w0", "w1"])
+        v = shardmap.version
+        shardmap.add_worker("w2")
+        assert shardmap.version == v + 1
+        shardmap.remove_worker("w2")
+        assert shardmap.version == v + 2
+
+
+class TestReplication:
+    def test_replica_sets_are_distinct(self):
+        shardmap = ShardMap(["w0", "w1", "w2", "w3"], replication=3)
+        for key in KEYS:
+            owners = shardmap.owners(*key)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_replication_capped_by_fleet_size(self):
+        shardmap = ShardMap(["w0", "w1"], replication=3)
+        owners = shardmap.owners("occigen", 0)
+        assert sorted(owners) == ["w0", "w1"]
+
+    def test_alive_set_reorders_live_first(self):
+        shardmap = ShardMap(["w0", "w1", "w2"], replication=3)
+        owners = shardmap.owners("occigen", 7)
+        primary = owners[0]
+        reordered = shardmap.owners(
+            "occigen", 7, alive=set(owners) - {primary}
+        )
+        assert set(reordered) == set(owners)
+        assert reordered[-1] == primary  # dead primary tried last
+
+    def test_balance_is_reasonable(self):
+        shardmap = ShardMap(["w0", "w1", "w2", "w3"])
+        counts: dict[str, int] = {}
+        for key in KEYS:
+            counts[shardmap.primary(*key)] = (
+                counts.get(shardmap.primary(*key), 0) + 1
+            )
+        assert len(counts) == 4
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+class TestSpec:
+    def test_round_trip_reproduces_every_owner(self):
+        shardmap = ShardMap(["alpha", "beta", "gamma"], replication=2)
+        rebuilt = ShardMap.from_spec(shardmap.spec())
+        for key in KEYS:
+            assert rebuilt.owners(*key) == shardmap.owners(*key)
+
+    def test_spec_is_json_stable(self):
+        import json
+
+        shardmap = ShardMap(["w0", "w1"])
+        assert (
+            ShardMap.from_spec(json.loads(json.dumps(shardmap.spec()))).spec()[
+                "workers"
+            ]
+            == shardmap.spec()["workers"]
+        )
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ClusterError, match="malformed"):
+            ShardMap.from_spec({"workers": ["w0"]})
+        with pytest.raises(ClusterError, match="list"):
+            ShardMap.from_spec(
+                {"workers": "w0", "replication": 1, "vnodes": 8}
+            )
+
+
+class TestValidation:
+    def test_duplicate_worker_rejected(self):
+        shardmap = ShardMap(["w0"])
+        with pytest.raises(ClusterError, match="already"):
+            shardmap.add_worker("w0")
+
+    def test_unknown_removal_rejected(self):
+        with pytest.raises(ClusterError, match="not in"):
+            ShardMap(["w0"]).remove_worker("w9")
+
+    def test_empty_map_cannot_route(self):
+        with pytest.raises(ClusterError, match="no workers"):
+            ShardMap([]).owners("occigen", 0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardMap(["w0"], replication=0)
+        with pytest.raises(ClusterError):
+            ShardMap(["w0"], vnodes=0)
+        with pytest.raises(ClusterError):
+            ShardMap([""])

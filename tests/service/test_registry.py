@@ -170,3 +170,63 @@ class TestSingleFlight:
 
         asyncio.run(go())
         assert len(calls) == 2
+
+
+class TestPreload:
+    def test_preload_hydrates_synchronously(self):
+        calibrator = CountingCalibrator()
+        metrics = ServiceMetrics()
+        registry = ModelRegistry(metrics=metrics, calibrator=calibrator)
+        loaded = registry.preload([("henri", 0), ("dahu", 1)])
+        assert [e.key for e in loaded] == [
+            ModelKey("henri", 0),
+            ModelKey("dahu", 1),
+        ]
+        assert calibrator.calls == 2
+        assert metrics.preloads_total == 2
+        assert metrics.calibrations_total == 2
+        assert registry.cached("henri", 0) and registry.cached("dahu", 1)
+
+    def test_preload_accepts_model_keys(self):
+        registry = ModelRegistry(calibrator=CountingCalibrator())
+        loaded = registry.preload([ModelKey("henri", 3)])
+        assert len(loaded) == 1 and registry.cached("henri", 3)
+
+    def test_preloaded_entry_is_served_without_recalibration(self):
+        calibrator = CountingCalibrator()
+        registry = ModelRegistry(calibrator=calibrator)
+        registry.preload([("henri", 0)])
+
+        async def go():
+            return await registry.get("henri", 0)
+
+        entry = asyncio.run(go())
+        assert entry.key == ModelKey("henri", 0)
+        assert calibrator.calls == 1  # the get() was a pure cache hit
+
+    def test_preload_skips_already_cached_keys(self):
+        calibrator = CountingCalibrator()
+        metrics = ServiceMetrics()
+        registry = ModelRegistry(metrics=metrics, calibrator=calibrator)
+        registry.preload([("henri", 0)])
+        loaded = registry.preload([("henri", 0), ("dahu", 0)])
+        assert [e.key.platform for e in loaded] == ["dahu"]
+        assert calibrator.calls == 2
+        assert metrics.preloads_total == 2
+
+    def test_preload_respects_the_lru_bound(self):
+        metrics = ServiceMetrics()
+        registry = ModelRegistry(
+            max_entries=2, metrics=metrics, calibrator=CountingCalibrator()
+        )
+        registry.preload([("henri", 0), ("dahu", 0), ("pyxis", 0)])
+        assert len(registry) == 2
+        assert not registry.cached("henri", 0)  # oldest evicted
+        assert metrics.registry_evictions == 1
+
+    def test_preload_validates_platform_names(self):
+        calibrator = CountingCalibrator()
+        registry = ModelRegistry(calibrator=calibrator)
+        with pytest.raises(TopologyError, match="unknown platform"):
+            registry.preload([("bogus", 0)])
+        assert calibrator.calls == 0

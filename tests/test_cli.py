@@ -388,3 +388,61 @@ class TestServeQueryParsing:
     def test_query_unknown_platform_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query", "calibrate", "bogus"])
+
+
+class TestClusterParsing:
+    def test_cluster_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_cluster_serve_defaults(self):
+        args = build_parser().parse_args(["cluster", "serve"])
+        assert args.cluster_command == "serve"
+        assert args.workers == 3 and args.replication == 2
+        assert args.max_restarts == 3
+        assert args.preload == []
+
+    def test_cluster_serve_preload_repeatable(self):
+        args = build_parser().parse_args(
+            [
+                "cluster", "serve",
+                "--workers", "4",
+                "--preload", "occigen",
+                "--preload", "henri:7",
+            ]
+        )
+        assert args.workers == 4
+        assert args.preload == ["occigen", "henri:7"]
+
+    def test_serve_preload_flag(self):
+        args = build_parser().parse_args(["serve", "--preload", "occigen:2"])
+        assert args.preload == ["occigen:2"]
+
+    def test_preload_key_parsing(self):
+        from repro.cli import _parse_preload_keys
+
+        assert _parse_preload_keys(["occigen", "henri:7"]) == [
+            ("occigen", 0),
+            ("henri", 7),
+        ]
+        with pytest.raises(errors.ServiceError, match="malformed"):
+            _parse_preload_keys([":3"])
+        with pytest.raises(errors.ServiceError, match="seed"):
+            _parse_preload_keys(["occigen:x"])
+
+    def test_cluster_loadgen_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "loadgen", "--platform", "bogus"])
+
+    def test_cluster_serve_without_cache_dir_fails(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(["cluster", "serve"])
+        assert code == EXIT_CODES[errors.ClusterError] == 15
+        assert "cache" in capsys.readouterr().err
+
+    def test_cluster_status_unreachable_router(self, capsys):
+        code = main(
+            ["cluster", "status", "--port", "1", "--timeout", "0.5"]
+        )
+        assert code == EXIT_CODES[errors.ServiceError] == 11
+        assert "cannot reach service" in capsys.readouterr().err
