@@ -22,6 +22,12 @@ smaller hosts the benchmark still runs, records the measured ratio, and
 asserts only sanity (the fleet must not collapse).  The recorded
 environment block carries ``cpu_count`` so a baseline taken on a small
 host is read accordingly.
+
+A final deliberate-overload phase chokes one worker down to
+``max_concurrency=1`` and drives the full client harness at it: the
+shedding path (503 back-pressure) must engage, sheds must never turn
+into failures, and both facts are recorded as exact-band metrics so the
+gate notices if back-pressure ever silently stops working.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from repro.bench import SweepConfig
 from repro.cluster import (
     ClusterRouter,
     LoadReport,
+    OverloadTarget,
     PredictWorkload,
     Supervisor,
     run_load,
@@ -164,6 +171,27 @@ def collect(recorder, benchmark=None) -> None:
                     router_thread.stop()
                 fleet.stop()
 
+            # Phase 3: deliberate overload.  One worker choked to a
+            # single in-flight request, hammered by the full harness
+            # (CLIENT_PROCS x STREAMS_PER_CLIENT streams): back-pressure
+            # must engage, and sheds must stay sheds.
+            choked = Supervisor(
+                workers=1,
+                replication=1,
+                cache_dir=cache_dir,
+                preload=[(PLATFORM, SEED)],
+                max_concurrency=1,
+            )
+            choked.start()
+            try:
+                choked.wait_ready()
+                overload_report = _drive(
+                    pool, [choked.handle("w0").port]
+                )
+            finally:
+                choked.stop()
+
+    overload_verdict = overload_report.overload_verdict(OverloadTarget())
     speedup = (
         direct_report.qps / single_report.qps if single_report.qps else 0.0
     )
@@ -208,6 +236,24 @@ def collect(recorder, benchmark=None) -> None:
         "shed_requests", float(shed_total), unit="count",
         direction="lower", band=0.0,
     )
+    # The overload contract.  The shed *rate* is hardware-dependent
+    # (wide band); whether shedding engaged at all and whether anything
+    # failed outright are binary facts (band 0) — a 0-vs-positive
+    # indicator is needed because a zero slips through any
+    # multiplicative band on the rate alone.
+    recorder.metric(
+        "overload_shed_rate", overload_report.shed_rate, unit="ratio",
+        direction="higher", band=9.0,
+    )
+    recorder.metric(
+        "overload_shed_happened",
+        1.0 if overload_report.shed > 0 else 0.0,
+        unit="bool", direction="higher", band=0.0,
+    )
+    recorder.metric(
+        "overload_failed_requests", float(overload_report.failed),
+        unit="count", direction="lower", band=0.0,
+    )
     recorder.context(
         platform=PLATFORM,
         cluster_workers=CLUSTER_WORKERS,
@@ -218,6 +264,8 @@ def collect(recorder, benchmark=None) -> None:
         cpu_count=cpu_count,
         single_p99_ms=round(single_report.latency_ms(99), 3),
         direct_p99_ms=round(direct_report.latency_ms(99), 3),
+        overload=overload_report.summary(),
+        overload_verdict=overload_verdict,
     )
     if benchmark is not None:
         # One representative unit for pytest-benchmark's own table: a
@@ -246,6 +294,16 @@ def test_cluster_scales_out(benchmark):
     # Zero client-visible failures, always, everywhere.
     assert values["failed_requests"] == 0.0
     assert values["shed_requests"] == 0.0
+
+    # The overload phase must actually overload: back-pressure engaged,
+    # and none of it leaked through as a failure.
+    assert values["overload_shed_happened"] == 1.0, (
+        "choked worker shed nothing — the overload phase proved nothing"
+    )
+    assert values["overload_failed_requests"] == 0.0, (
+        f"{values['overload_failed_requests']:.0f} requests failed "
+        "outright under overload; sheds must stay sheds"
+    )
 
     # The scale-out claim is asserted only where it is physically
     # possible: 4 workers cannot beat 1 on a single core.

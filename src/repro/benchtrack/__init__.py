@@ -25,6 +25,7 @@ from repro.benchtrack.compare import (
     load_report,
     parse_report,
     render_comparison,
+    render_comparison_markdown,
     write_report,
 )
 from repro.benchtrack.record import (
@@ -67,6 +68,7 @@ __all__ = [
     "parse_report",
     "percentile",
     "render_comparison",
+    "render_comparison_markdown",
     "run_area",
     "run_areas",
     "timed",

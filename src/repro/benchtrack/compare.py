@@ -51,6 +51,7 @@ __all__ = [
     "load_report",
     "parse_report",
     "render_comparison",
+    "render_comparison_markdown",
     "write_report",
 ]
 
@@ -347,4 +348,43 @@ def render_comparison(comparison: AreaComparison) -> str:
         verdict = _verdict_line(diff)
         if verdict is not None:
             lines.append(verdict)
+    return "\n".join(lines)
+
+
+_STATUS_BADGES = {
+    "ok": "✅ ok",
+    "regression": "❌ regression",
+    "improvement": "❌ improvement (stale baseline)",
+    "removed": "❌ removed",
+    "added": "➕ added",
+    "incomparable": "➖ incomparable",
+}
+
+
+def render_comparison_markdown(comparison: AreaComparison) -> str:
+    """The same verdicts as :func:`render_comparison`, as a
+    GitHub-flavored markdown table (for CI to post as a PR comment)."""
+    verdict = "PASS ✅" if comparison.passed else "FAIL ❌"
+    lines = [
+        f"### `BENCH_{comparison.area}` — {verdict} "
+        f"({len(comparison.diffs)} metrics)",
+        "",
+        "| metric | baseline | fresh | Δ% | band% | status |",
+        "| --- | ---: | ---: | ---: | ---: | --- |",
+    ]
+    for diff in comparison.diffs:
+        rel = "—" if diff.rel_delta is None else f"{diff.rel_delta * 100:+.1f}"
+        badge = _STATUS_BADGES.get(diff.status, diff.status)
+        lines.append(
+            f"| `{diff.name}` | {_fmt(diff.baseline)} | {_fmt(diff.fresh)} "
+            f"| {rel} | {diff.band * 100:.0f} | {badge} |"
+        )
+    notes = [
+        verdict_line
+        for verdict_line in map(_verdict_line, comparison.diffs)
+        if verdict_line is not None
+    ]
+    if notes:
+        lines.append("")
+        lines.extend(f"- {note}" for note in notes)
     return "\n".join(lines)

@@ -229,6 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cal.add_argument("platform", choices=platform_names())
 
+    p_comp = sub.add_parser(
+        "compile", parents=[pipeline_opts],
+        help="compile a calibrated model into a dense lookup artifact",
+    )
+    p_comp.add_argument("platform", choices=platform_names())
+    p_comp.add_argument(
+        "--n-max", type=int, default=None,
+        help="largest core count covered by the compiled tables "
+        "(default: 256, covering every archived platform)",
+    )
+    p_comp.add_argument(
+        "--force", action="store_true",
+        help="discard any stored compiled artifact and recompile",
+    )
+
     p_pred = sub.add_parser(
         "predict", parents=[pipeline_opts], help="predict one configuration"
     )
@@ -390,6 +405,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare previously saved BENCH_<area>.json files from this "
         "directory instead of re-running the benchmarks",
     )
+    b_cmp.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the per-metric verdict table as GitHub-flavored "
+        "markdown (for CI to post as a PR comment)",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="inspect structured traces written by --trace"
@@ -520,6 +541,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit non-zero when the SLO verdict fails",
     )
+    cl_load.add_argument(
+        "--overload", action="store_true",
+        help="deliberate-overload mode: grade shedding behaviour instead "
+        "of the serving SLO (sheds must happen, failures must not)",
+    )
+    cl_load.add_argument(
+        "--min-shed-rate", type=float, default=0.01,
+        help="overload mode: the shed fraction the run must reach to "
+        "prove back-pressure engaged",
+    )
 
     p_query = sub.add_parser("query", help="query a running service")
     remote = argparse.ArgumentParser(add_help=False)
@@ -598,6 +629,57 @@ def _cmd_calibrate(args: argparse.Namespace) -> str:
         f"platform {platform.name}\n"
         f"local : {result.model.local.summary()}\n"
         f"remote: {result.model.remote.summary()}"
+    )
+
+
+def _cmd_compile(args: argparse.Namespace) -> str:
+    from repro.bench.config import SweepConfig
+    from repro.core.compiled import (
+        DEFAULT_N_MAX,
+        compiled_key,
+        load_compiled,
+        load_or_compile,
+    )
+    from repro.evaluation.experiments import run_platform_experiment
+    from repro.pipeline.fingerprint import config_fingerprint
+    from repro.pipeline.store import ArtifactStore
+
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        raise PipelineError(
+            "compile needs an artifact store to publish into: pass "
+            "--cache-dir or set $REPRO_CACHE_DIR"
+        )
+    n_max = DEFAULT_N_MAX if args.n_max is None else args.n_max
+    config = SweepConfig(seed=args.seed)
+    result = run_platform_experiment(
+        args.platform, config=config, cache_dir=cache_dir, jobs=args.jobs
+    )
+    store = ArtifactStore(cache_dir)
+    fingerprint = config_fingerprint(config)
+    key = compiled_key(args.platform, fingerprint)
+    if args.force:
+        store.discard(key)
+        cached = None
+    else:
+        cached = load_compiled(store, args.platform, fingerprint)
+    reused = cached is not None and cached.n_max >= n_max
+    compiled = load_or_compile(
+        store,
+        args.platform,
+        fingerprint,
+        result.model,
+        n_max=n_max,
+        error_average_pct=result.errors.average,
+    )
+    k = compiled.n_numa_nodes
+    return (
+        f"{'reused' if reused else 'compiled'} {args.platform} "
+        f"(seed={args.seed}) -> {key.entry_id}\n"
+        f"  tables: 3 curves x {k * k} placements x "
+        f"{compiled.n_max + 1} core counts "
+        f"({compiled.table_bytes} bytes)\n"
+        f"  store: {store.root}"
     )
 
 
@@ -851,8 +933,15 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         compare_reports,
         load_report,
         render_comparison,
+        render_comparison_markdown,
         run_areas,
         write_report,
+    )
+
+    render = (
+        render_comparison_markdown
+        if getattr(args, "markdown", False)
+        else render_comparison
     )
 
     if args.band is not None and args.band < 0:
@@ -880,7 +969,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
             comparison = compare_reports(
                 load_report(baseline_path), report, default_band=default_band
             )
-            lines.append(render_comparison(comparison))
+            lines.append(render(comparison))
             failures.extend(
                 f"{name}:{diff.name} ({diff.status})"
                 for diff in comparison.failures
@@ -1033,7 +1122,12 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
             )
         return "\n".join(lines)
     if args.cluster_command == "loadgen":
-        from repro.cluster import PredictWorkload, SloTarget, run_load
+        from repro.cluster import (
+            OverloadTarget,
+            PredictWorkload,
+            SloTarget,
+            run_load,
+        )
 
         workload = PredictWorkload(
             host=args.host,
@@ -1045,15 +1139,26 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
         report = run_load(
             workload, total=args.total, concurrency=args.concurrency
         )
-        verdict = report.slo_verdict(
-            SloTarget(
-                p99_ms=args.p99_ms,
-                error_budget=args.error_budget,
-                max_shed_rate=args.max_shed_rate,
+        if args.overload:
+            label = "overload"
+            verdict = report.overload_verdict(
+                OverloadTarget(
+                    min_shed_rate=args.min_shed_rate,
+                    error_budget=args.error_budget,
+                    p99_ms=args.p99_ms,
+                )
             )
-        )
+        else:
+            label = "slo"
+            verdict = report.slo_verdict(
+                SloTarget(
+                    p99_ms=args.p99_ms,
+                    error_budget=args.error_budget,
+                    max_shed_rate=args.max_shed_rate,
+                )
+            )
         output = _json.dumps(
-            {"load": report.summary(), "slo": verdict}, indent=2
+            {"load": report.summary(), label: verdict}, indent=2
         )
         if args.check and not verdict["ok"]:
             print(output, flush=True)
@@ -1062,7 +1167,9 @@ def _cmd_cluster(args: argparse.Namespace) -> str:
                 for name, check in verdict["checks"].items()
                 if not check["ok"]
             ]
-            raise ClusterError("SLO violated: " + ", ".join(failed))
+            raise ClusterError(
+                f"{label.upper()} violated: " + ", ".join(failed)
+            )
         return output
     raise ClusterError(f"unknown cluster command {args.cluster_command!r}")
 
@@ -1183,6 +1290,7 @@ _COMMANDS = {
     "topo": _cmd_topo,
     "sweep": _cmd_sweep,
     "calibrate": _cmd_calibrate,
+    "compile": _cmd_compile,
     "predict": _cmd_predict,
     "figure": _cmd_figure,
     "table1": _cmd_table1,

@@ -10,10 +10,13 @@ Scale-out layer over the single-process service (docs/CLUSTER.md):
 * :class:`ClusterRouter` — the single front door: shard routing,
   replica failover, self-healing health loop, fleet-wide
   ``/healthz`` / ``/shards`` / ``/metrics``;
+* :class:`WorkerPool` — the router's keep-alive worker streams, one
+  TCP handshake amortised over many forwards;
 * :class:`ClusterClient` — shard-aware client that skips the proxy
   hop by rebuilding the routing table from ``GET /shards``;
-* :func:`run_load` / :class:`PredictWorkload` / :class:`SloTarget` —
-  the SLO load harness (p50/p99, error budget, shed rate) behind
+* :func:`run_load` / :class:`PredictWorkload` / :class:`SloTarget` /
+  :class:`OverloadTarget` — the load harness (p50/p99, error budget,
+  shed rate; overload runs grade shedding itself) behind
   ``repro cluster loadgen`` and ``benchmarks/bench_cluster.py``.
 """
 
@@ -22,10 +25,12 @@ from __future__ import annotations
 from repro.cluster.client import ClusterClient
 from repro.cluster.loadgen import (
     LoadReport,
+    OverloadTarget,
     PredictWorkload,
     SloTarget,
     run_load,
 )
+from repro.cluster.pool import WorkerPool
 from repro.cluster.router import ClusterRouter, RouterMetrics
 from repro.cluster.shardmap import ShardMap
 from repro.cluster.supervisor import Supervisor, WorkerHandle, WorkerStatus
@@ -34,12 +39,14 @@ __all__ = [
     "ClusterClient",
     "ClusterRouter",
     "LoadReport",
+    "OverloadTarget",
     "PredictWorkload",
     "RouterMetrics",
     "ShardMap",
     "SloTarget",
     "Supervisor",
     "WorkerHandle",
+    "WorkerPool",
     "WorkerStatus",
     "run_load",
 ]

@@ -29,7 +29,13 @@ from repro.errors import ClusterError, ServiceError
 from repro.benchtrack.record import percentile
 from repro.service.client import ServiceClient, ServiceResponseError
 
-__all__ = ["PredictWorkload", "LoadReport", "SloTarget", "run_load"]
+__all__ = [
+    "PredictWorkload",
+    "LoadReport",
+    "OverloadTarget",
+    "SloTarget",
+    "run_load",
+]
 
 #: Query mix cycled by each load worker: (n_cores, m_comp, m_comm).
 DEFAULT_QUERIES: tuple[tuple[int, int, int], ...] = (
@@ -57,6 +63,27 @@ class PredictWorkload:
         return ServiceClient(
             self.host, self.port, timeout=self.timeout_s, retries=self.retries
         )
+
+
+@dataclass(frozen=True)
+class OverloadTarget:
+    """What a *deliberate-overload* run must demonstrate.
+
+    The mirror image of :class:`SloTarget`: instead of bounding how
+    much the service may shed, it requires that shedding actually
+    engages (back-pressure instead of melting), that shed traffic never
+    turns into failures, and that the answers the service does give —
+    including the 503s themselves — stay fast.
+    """
+
+    #: Shedding must reach at least this fraction, or the run never
+    #: actually overloaded the target (and proved nothing).
+    min_shed_rate: float = 0.01
+    #: Fraction of requests allowed to fail outright; under overload
+    #: the healthy answer is a shed, so the default budget is zero.
+    error_budget: float = 0.0
+    #: Responses (served or shed) must still come back under this p99.
+    p99_ms: float = 1000.0
 
 
 @dataclass(frozen=True)
@@ -130,6 +157,32 @@ class LoadReport:
                 "target": target.max_shed_rate,
                 "measured": round(self.shed_rate, 5),
                 "ok": self.shed_rate <= target.max_shed_rate,
+            },
+        }
+        return {
+            "ok": all(c["ok"] for c in checks.values()),
+            "checks": checks,
+        }
+
+    def overload_verdict(self, target: OverloadTarget) -> dict:
+        """Grade a deliberate-overload run: shedding must engage,
+        failures must stay in budget, answers must stay bounded."""
+        p99 = self.latency_ms(99)
+        checks = {
+            "shed_rate": {
+                "target": target.min_shed_rate,
+                "measured": round(self.shed_rate, 5),
+                "ok": self.shed_rate >= target.min_shed_rate,
+            },
+            "error_rate": {
+                "target": target.error_budget,
+                "measured": round(self.error_rate, 5),
+                "ok": self.error_rate <= target.error_budget,
+            },
+            "p99_ms": {
+                "target": target.p99_ms,
+                "measured": round(p99, 3),
+                "ok": p99 <= target.p99_ms,
             },
         }
         return {

@@ -15,7 +15,12 @@ behind it look like that one service:
   relayed verbatim — they are answers, not outages;
 * **self-healing** — a background health loop polls worker process
   liveness, respawns the dead (warm, from the shared artifact store)
-  and retires crash-loopers, rebalancing the shard map.
+  and retires crash-loopers, rebalancing the shard map;
+* **keep-alive forwarding** — worker connections come from a
+  :class:`~repro.cluster.pool.WorkerPool` of keep-alive streams, so a
+  forward costs one exchange, not one TCP handshake; pool health
+  (opens/reuses/discards/evictions/stale retries) is part of the
+  ``/metrics`` router block.
 
 Fleet-wide introspection: ``GET /healthz`` (worker states, shard-map
 version), ``GET /shards`` (the routing table a shard-aware client
@@ -30,13 +35,13 @@ import json
 import logging
 import time
 
+from repro.cluster.pool import WorkerPool
 from repro.errors import ClusterError, ServiceError
 from repro.obs import merge_tracing_snapshots
 from repro.service import protocol
 from repro.service.http11 import (
     HttpError,
     read_request,
-    request,
     write_response,
 )
 
@@ -51,7 +56,9 @@ FORWARDED_ENDPOINTS = ("/calibrate", "/predict", "/predict_grid", "/advise")
 class RouterMetrics:
     """Counters of the routing tier itself (workers keep their own)."""
 
-    def __init__(self) -> None:
+    def __init__(self, pool: WorkerPool | None = None) -> None:
+        #: The router's worker connection pool, surfaced in snapshots.
+        self.pool = pool
         #: (endpoint, status) -> count, as answered to the client.
         self.requests_total: dict[tuple[str, int], int] = {}
         #: worker_id -> requests forwarded to it (including failed tries).
@@ -69,6 +76,9 @@ class RouterMetrics:
 
     def snapshot(self) -> dict:
         return {
+            "connection_pool": (
+                self.pool.snapshot() if self.pool is not None else None
+            ),
             "requests": {
                 "total": sum(self.requests_total.values()),
                 "by_endpoint": [
@@ -102,7 +112,8 @@ class ClusterRouter:
         health_interval_s: float = 0.25,
     ) -> None:
         self.supervisor = supervisor
-        self.metrics = RouterMetrics()
+        self._pool = WorkerPool()
+        self.metrics = RouterMetrics(pool=self._pool)
         self._host = host
         self._port = port
         self._forward_timeout_s = forward_timeout_s
@@ -167,6 +178,7 @@ class ClusterRouter:
                 task.cancel()
             if stragglers:
                 await asyncio.gather(*stragglers, return_exceptions=True)
+        await self._pool.aclose()
         self._shutdown.set()
 
     # ---- health loop -----------------------------------------------------------
@@ -205,22 +217,30 @@ class ClusterRouter:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            try:
-                method, path, body = await read_request(reader)
-            except HttpError as exc:
+            # Same keep-alive loop as the single-process service: honour
+            # explicit keep-alive clients, close after one exchange
+            # otherwise.
+            while True:
+                try:
+                    method, path, body, keep_alive = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer,
+                        exc.status,
+                        protocol.error_payload(
+                            ServiceError(str(exc)), status=exc.status
+                        ),
+                    )
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return
+                status, payload = await self._dispatch(method, path, body)
+                self.metrics.observe(path.lstrip("/") or "_root", status)
                 await write_response(
-                    writer,
-                    exc.status,
-                    protocol.error_payload(
-                        ServiceError(str(exc)), status=exc.status
-                    ),
+                    writer, status, payload, keep_alive=keep_alive
                 )
-                return
-            except (asyncio.IncompleteReadError, ConnectionError):
-                return
-            status, payload = await self._dispatch(method, path, body)
-            self.metrics.observe(path.lstrip("/") or "_root", status)
-            await write_response(writer, status, payload)
+                if not keep_alive:
+                    return
         finally:
             try:
                 writer.close()
@@ -281,7 +301,7 @@ class ClusterRouter:
         async def scrape(worker_id: str) -> "tuple[str, dict | None]":
             handle = self.supervisor.handle(worker_id)
             try:
-                status, raw = await request(
+                status, raw = await self._pool.request(
                     handle.host, handle.port, "GET", "/metrics", timeout=5.0
                 )
                 if status != 200:
@@ -349,7 +369,7 @@ class ClusterRouter:
                 self.metrics.forwards.get(worker_id, 0) + 1
             )
             try:
-                status, raw = await request(
+                status, raw = await self._pool.request(
                     handle.host,
                     handle.port,
                     "POST",

@@ -11,11 +11,20 @@
   curves (§IV-A2);
 * :mod:`repro.core.placement` — combining the local and remote
   instantiations to predict every placement: equations 6 and 7 (§III-C);
+* :mod:`repro.core.compiled` — the compiled prediction kernel: dense
+  per-placement answer tables served by pure table lookup;
 * :mod:`repro.core.stacked` — the stacked-bandwidth representation of
   Figure 2.
 """
 
 from repro.core.calibration import calibrate, calibrate_placement_model
+from repro.core.compiled import (
+    CompiledModel,
+    compiled_key,
+    load_compiled,
+    load_or_compile,
+    store_compiled,
+)
 from repro.core.evaluation import (
     ModelEvaluator,
     as_core_counts,
@@ -31,6 +40,7 @@ from repro.core.sensitivity import SensitivityResult, parameter_sensitivity
 from repro.core.stacked import StackedView, stacked_view
 
 __all__ = [
+    "CompiledModel",
     "ContentionModel",
     "ModelEvaluator",
     "ModelParameters",
@@ -42,7 +52,11 @@ __all__ = [
     "as_core_counts",
     "calibrate",
     "calibrate_placement_model",
+    "compiled_key",
     "evaluator_for",
+    "load_compiled",
+    "load_or_compile",
+    "store_compiled",
     "fit_quality",
     "parameter_sensitivity",
     "refine_parameters",

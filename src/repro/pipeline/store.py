@@ -21,8 +21,9 @@ Guarantees:
   discarded, and the caller recomputes.  Corruption can cost time, not
   correctness.
 * **Bit-identical reload** — payloads are UTF-8 text produced by the
-  stages' full-precision serialisers, so a warm run reconstructs the
-  exact float64 values of the cold run.
+  stages' full-precision serialisers (or raw bytes for binary
+  artifacts such as compiled ``.npz`` tables), so a warm run
+  reconstructs the exact float64 values of the cold run.
 """
 
 from __future__ import annotations
@@ -100,8 +101,14 @@ class EntryInfo:
         return self.key.entry_id
 
 
-def _sha256(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+def _sha256(data: str | bytes) -> str:
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def _as_raw(payload: str | bytes) -> bytes:
+    return payload.encode("utf-8") if isinstance(payload, str) else payload
 
 
 class ArtifactStore:
@@ -130,8 +137,12 @@ class ArtifactStore:
 
     # ---- reads -----------------------------------------------------------------
 
-    def load(self, key: StageKey) -> dict[str, str] | None:
+    def load(self, key: StageKey) -> dict[str, str | bytes] | None:
         """The verified payloads of ``key``, or ``None`` to recompute.
+
+        Text payloads (the default) come back as ``str``; payloads
+        saved as ``bytes`` (manifest ``encoding: "binary"``) come back
+        as ``bytes``.
 
         Never raises for a bad entry: corruption of any kind (unparsable
         or truncated manifest, missing payload file, checksum mismatch,
@@ -165,7 +176,9 @@ class ArtifactStore:
             self._bump_hits(entry)
             return payloads
 
-    def _read_verified(self, entry: Path, key: StageKey) -> dict[str, str]:
+    def _read_verified(
+        self, entry: Path, key: StageKey
+    ) -> dict[str, str | bytes]:
         """Read and verify one entry; raises ValueError/OSError on any defect."""
         try:
             manifest = json.loads((entry / _MANIFEST).read_text("utf-8"))
@@ -190,19 +203,27 @@ class ArtifactStore:
         files = manifest.get("files")
         if not isinstance(files, dict) or not files:
             raise ValueError("manifest lists no payload files")
-        payloads: dict[str, str] = {}
+        payloads: dict[str, str | bytes] = {}
         for name, meta in files.items():
             path = entry / name
             if not path.is_file():
                 raise ValueError(f"payload file {name!r} is missing")
-            # Exact bytes: universal-newline translation would silently
-            # alter CSV payloads (csv emits \r\n) and break checksums.
-            text = path.read_bytes().decode("utf-8")
             if not isinstance(meta, dict) or "sha256" not in meta:
                 raise ValueError(f"payload file {name!r} has no checksum")
-            if _sha256(text) != meta["sha256"]:
+            # Exact bytes: universal-newline translation would silently
+            # alter CSV payloads (csv emits \r\n) and break checksums.
+            raw = path.read_bytes()
+            if _sha256(raw) != meta["sha256"]:
                 raise ValueError(f"payload file {name!r} fails its checksum")
-            payloads[name] = text
+            encoding = meta.get("encoding", "utf-8")
+            if encoding == "binary":
+                payloads[name] = raw
+            elif encoding == "utf-8":
+                payloads[name] = raw.decode("utf-8")
+            else:
+                raise ValueError(
+                    f"payload file {name!r} has unknown encoding {encoding!r}"
+                )
         return payloads
 
     # ---- writes ----------------------------------------------------------------
@@ -210,11 +231,15 @@ class ArtifactStore:
     def save(
         self,
         key: StageKey,
-        payloads: Mapping[str, str],
+        payloads: Mapping[str, str | bytes],
         *,
         provenance: Mapping[str, Any] | None = None,
     ) -> None:
         """Atomically persist ``payloads`` under ``key``.
+
+        A ``str`` payload is stored as UTF-8 text and reloads as
+        ``str``; a ``bytes`` payload is stored verbatim (manifest
+        ``encoding: "binary"``) and reloads as ``bytes``.
 
         ``provenance`` (e.g. the full sweep-config dict) is embedded in
         the manifest for humans and ``repro cache info``; it is not part
@@ -236,8 +261,14 @@ class ArtifactStore:
             "provenance": dict(provenance or {}),
             "created_unix": time.time(),
             "files": {
-                name: {"sha256": _sha256(text), "bytes": len(text.encode("utf-8"))}
-                for name, text in payloads.items()
+                name: {
+                    "sha256": _sha256(payload),
+                    "bytes": len(_as_raw(payload)),
+                    "encoding": (
+                        "binary" if isinstance(payload, bytes) else "utf-8"
+                    ),
+                }
+                for name, payload in payloads.items()
             },
         }
         tmp_root = self._root / _TMP
@@ -245,8 +276,8 @@ class ArtifactStore:
         with span("store.save", entry=key.entry_id):
             tmp_dir = Path(tempfile.mkdtemp(dir=tmp_root, prefix=key.stage))
             try:
-                for name, text in payloads.items():
-                    (tmp_dir / name).write_bytes(text.encode("utf-8"))
+                for name, payload in payloads.items():
+                    (tmp_dir / name).write_bytes(_as_raw(payload))
                 (tmp_dir / _MANIFEST).write_bytes(
                     json.dumps(manifest, indent=2, sort_keys=True).encode(
                         "utf-8"

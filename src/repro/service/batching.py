@@ -101,11 +101,24 @@ class PredictBatcher:
         if not queue.queries:
             return
         self._metrics.observe_batch(len(queue.queries))
-        model = queue.entry.model
+        # Short-circuit into the compiled table when the entry carries
+        # one: the whole batch becomes a fancy-indexed lookup.  The
+        # compiled kernel answers bit-identically (and falls back to
+        # the live model internally past its table range).
+        model = (
+            queue.entry.compiled
+            if queue.entry.compiled is not None
+            else queue.entry.model
+        )
+        if queue.entry.compiled is not None:
+            self._metrics.compiled_queries_total += len(queue.queries)
+        else:
+            self._metrics.evaluator_queries_total += len(queue.queries)
         with span(
             "service.batch",
             platform=key.platform,
             size=len(queue.queries),
+            compiled=queue.entry.compiled is not None,
         ):
             try:
                 results = model.predict_batch(queue.queries)

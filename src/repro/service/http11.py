@@ -1,9 +1,14 @@
 """Minimal HTTP/1.1 framing shared by the service and the cluster tier.
 
-One connection carries one JSON request and one JSON response
-(``Connection: close``), which keeps the parser small enough to audit:
-a request line, up to :data:`MAX_HEADER_LINES` headers of which only
-``Content-Length`` matters, and an exact-length body.
+A connection carries JSON requests and JSON responses, which keeps the
+parser small enough to audit: a request line, up to
+:data:`MAX_HEADER_LINES` headers of which only ``Content-Length`` and
+``Connection`` matter, and an exact-length body.  Connections close
+after one exchange unless the client explicitly opts into
+``Connection: keep-alive`` — the conservative default keeps the stdlib
+``http.client`` (which the blocking :class:`ServiceClient` uses)
+behaving exactly as before, while the router's worker pool reuses its
+streams across forwards.
 
 Three parties speak this dialect:
 
@@ -11,7 +16,8 @@ Three parties speak this dialect:
   server (``read_request`` / ``write_response``);
 * :class:`~repro.cluster.router.ClusterRouter` — both sides: it reads
   client requests with ``read_request`` and forwards them to workers
-  with :func:`request`, the stream-based client half;
+  through a :class:`~repro.cluster.pool.WorkerPool` of keep-alive
+  streams (:func:`encode_request` / :func:`read_response`);
 * the stdlib ``http.client`` used by :class:`ServiceClient`, which
   interoperates because this *is* plain HTTP/1.1.
 """
@@ -28,6 +34,7 @@ __all__ = [
     "REASONS",
     "encode_request",
     "read_request",
+    "read_response",
     "request",
     "write_response",
 ]
@@ -63,14 +70,22 @@ class HttpError(Exception):
 
 async def read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes]:
-    """Parse one request off a stream -> ``(method, path, body)``.
+) -> tuple[str, str, bytes, bool]:
+    """Parse one request off a stream -> ``(method, path, body, keep_alive)``.
 
-    Raises :class:`HttpError` for malformed framing; propagates
-    ``IncompleteReadError``/``ConnectionError`` when the peer vanishes.
+    ``keep_alive`` is True only when the client explicitly sent
+    ``Connection: keep-alive`` — a server loop that honours it keeps
+    reading requests off the same stream; everything else keeps the
+    historical close-after-one behaviour.  Raises :class:`HttpError`
+    for malformed framing; a peer that closed between requests (EOF
+    before any request line) raises :class:`ConnectionResetError` so
+    connection loops can distinguish a clean close from garbage.
     The query string, if any, is stripped — the API is body-driven.
     """
-    request_line = (await reader.readline()).decode("latin-1").strip()
+    raw_line = await reader.readline()
+    if not raw_line:
+        raise ConnectionResetError("peer closed the connection")
+    request_line = raw_line.decode("latin-1").strip()
     if not request_line:
         raise HttpError(400, "empty request")
     parts = request_line.split()
@@ -78,16 +93,20 @@ async def read_request(
         raise HttpError(400, f"malformed request line {request_line!r}")
     method, target, _version = parts
     content_length = 0
+    keep_alive = False
     for _ in range(MAX_HEADER_LINES):
         line = (await reader.readline()).decode("latin-1")
         if line in ("\r\n", "\n", ""):
             break
         name, _, value = line.partition(":")
-        if name.strip().lower() == "content-length":
+        header = name.strip().lower()
+        if header == "content-length":
             try:
                 content_length = int(value.strip())
             except ValueError:
                 raise HttpError(400, "invalid Content-Length") from None
+        elif header == "connection":
+            keep_alive = value.strip().lower() == "keep-alive"
     else:
         raise HttpError(400, "too many headers")
     if content_length > MAX_BODY_BYTES:
@@ -96,24 +115,31 @@ async def read_request(
         await reader.readexactly(content_length) if content_length else b""
     )
     path = target.split("?", 1)[0]
-    return method, path, body
+    return method, path, body, keep_alive
 
 
-def encode_response(status: int, body: bytes) -> bytes:
+def encode_response(
+    status: int, body: bytes, *, keep_alive: bool = False
+) -> bytes:
     """One complete JSON response as wire bytes."""
     reason = REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        "Connection: close\r\n"
+        f"Connection: {connection}\r\n"
         "\r\n"
     ).encode("latin-1")
     return head + body
 
 
 async def write_response(
-    writer: asyncio.StreamWriter, status: int, payload: dict | bytes
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict | bytes,
+    *,
+    keep_alive: bool = False,
 ) -> None:
     """Serialise and send one response; a vanished client is not an error."""
     body = (
@@ -122,7 +148,7 @@ async def write_response(
         else json.dumps(payload).encode("utf-8")
     )
     try:
-        writer.write(encode_response(status, body))
+        writer.write(encode_response(status, body, keep_alive=keep_alive))
         await writer.drain()
     except (ConnectionError, OSError):
         pass  # client went away; nothing to salvage
@@ -131,16 +157,70 @@ async def write_response(
 # ---- client half (used by the router to reach workers) ---------------------------
 
 
-def encode_request(method: str, path: str, body: bytes | None) -> bytes:
+def encode_request(
+    method: str, path: str, body: bytes | None, *, keep_alive: bool = False
+) -> bytes:
+    connection = "keep-alive" if keep_alive else "close"
     head = (
         f"{method} {path} HTTP/1.1\r\n"
         "Host: cluster\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {0 if body is None else len(body)}\r\n"
-        "Connection: close\r\n"
+        f"Connection: {connection}\r\n"
         "\r\n"
     ).encode("latin-1")
     return head + (body or b"")
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes, bool]:
+    """Parse one response off a stream -> ``(status, body, reusable)``.
+
+    ``reusable`` is True only when the server explicitly answered
+    ``Connection: keep-alive`` — the stream can carry another exchange.
+    A peer that closed before sending a status line raises
+    :class:`ConnectionResetError` (the signature of a parked keep-alive
+    stream the server timed out); malformed framing raises
+    :class:`HttpError` with a 502.
+    """
+    raw_line = await reader.readline()
+    if not raw_line:
+        raise ConnectionResetError("peer closed the connection")
+    status_line = raw_line.decode("latin-1").strip()
+    parts = status_line.split(maxsplit=2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise HttpError(502, f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    content_length: int | None = None
+    reusable = False
+    for _ in range(MAX_HEADER_LINES):
+        line = (await reader.readline()).decode("latin-1")
+        if line in ("\r\n", "\n", ""):
+            break
+        name, _, value = line.partition(":")
+        header = name.strip().lower()
+        if header == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise HttpError(502, "invalid Content-Length") from None
+        elif header == "connection":
+            reusable = value.strip().lower() == "keep-alive"
+    else:
+        raise HttpError(502, "too many headers in response")
+    if content_length is not None:
+        if content_length > MAX_BODY_BYTES:
+            raise HttpError(502, "response body too large")
+        payload = await reader.readexactly(content_length)
+    else:
+        # No length means the body runs to EOF: the stream cannot be
+        # reused regardless of what the Connection header claimed.
+        reusable = False
+        payload = await reader.read(MAX_BODY_BYTES + 1)
+        if len(payload) > MAX_BODY_BYTES:
+            raise HttpError(502, "response body too large")
+    return status, payload, reusable
 
 
 async def _request_on_stream(
@@ -150,32 +230,7 @@ async def _request_on_stream(
     try:
         writer.write(encode_request(method, path, body))
         await writer.drain()
-        status_line = (await reader.readline()).decode("latin-1").strip()
-        parts = status_line.split(maxsplit=2)
-        if len(parts) < 2 or not parts[1].isdigit():
-            raise HttpError(502, f"malformed status line {status_line!r}")
-        status = int(parts[1])
-        content_length: int | None = None
-        for _ in range(MAX_HEADER_LINES):
-            line = (await reader.readline()).decode("latin-1")
-            if line in ("\r\n", "\n", ""):
-                break
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise HttpError(502, "invalid Content-Length") from None
-        else:
-            raise HttpError(502, "too many headers in response")
-        if content_length is not None:
-            if content_length > MAX_BODY_BYTES:
-                raise HttpError(502, "response body too large")
-            payload = await reader.readexactly(content_length)
-        else:
-            payload = await reader.read(MAX_BODY_BYTES + 1)
-            if len(payload) > MAX_BODY_BYTES:
-                raise HttpError(502, "response body too large")
+        status, payload, _reusable = await read_response(reader)
         return status, payload
     finally:
         try:

@@ -63,6 +63,12 @@ class ServiceMetrics:
         self.batched_queries_total = 0
         #: batch size -> number of batches of that size
         self.batch_sizes: dict[int, int] = {}
+        # Compiled prediction kernel.
+        #: Queries answered from a compiled model's dense tables.
+        self.compiled_queries_total = 0
+        #: Queries answered by the live evaluator (no compiled model,
+        #: or a core count beyond the compiled range).
+        self.evaluator_queries_total = 0
 
     # ---- recording -------------------------------------------------------------
 
@@ -131,6 +137,10 @@ class ServiceMetrics:
                 "batches": self.batches_total,
                 "queries": self.batched_queries_total,
                 "sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+            },
+            "compiled": {
+                "table_queries": self.compiled_queries_total,
+                "evaluator_queries": self.evaluator_queries_total,
             },
             # Per-span-name timing of the active tracer (requests,
             # batches, calibrations); {"enabled": False} when off.

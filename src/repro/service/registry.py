@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.bench.config import SweepConfig
+from repro.core.compiled import CompiledModel
 from repro.core.placement import PlacementModel
 from repro.errors import ServiceError
 from repro.obs import span
@@ -47,34 +48,57 @@ class ModelKey:
 
 @dataclass(frozen=True)
 class ModelEntry:
-    """One calibrated model plus the platform it belongs to."""
+    """One calibrated model plus the platform it belongs to.
+
+    ``compiled`` carries the model's compiled prediction kernel when
+    one exists; the hot paths (batcher, bulk predict, grid) serve from
+    its dense tables and fall back to ``model`` when it is ``None``
+    (e.g. entries produced by a custom test calibrator).
+    """
 
     key: ModelKey
     platform: Platform
     model: PlacementModel
     error_average_pct: float = field(default=float("nan"))
+    compiled: CompiledModel | None = field(default=None)
 
 
 def _default_calibrator(
     key: ModelKey, cache_dir: Path | str | None = None
 ) -> ModelEntry:
-    """The full §IV pipeline: sweep, calibrate, score.
+    """The full §IV pipeline: sweep, calibrate, score, compile.
 
     With ``cache_dir`` the pipeline's artifact store backs the run, so
     a service restart (or a sibling process) reuses the persisted sweep
-    and calibration instead of recomputing them.
+    and calibration instead of recomputing them — and the compiled
+    prediction kernel is loaded from (or published to) the same store,
+    keyed by the same config fingerprint, so a parameter change
+    recompiles and a fleet of workers shares one compiled file.
     """
     # Imported lazily: evaluation pulls the whole bench stack.
+    from repro.core.compiled import load_or_compile
     from repro.evaluation.experiments import run_platform_experiment
+    from repro.pipeline.fingerprint import config_fingerprint
+    from repro.pipeline.store import ArtifactStore
 
+    config = SweepConfig(seed=key.seed)
     result = run_platform_experiment(
-        key.platform, config=SweepConfig(seed=key.seed), cache_dir=cache_dir
+        key.platform, config=config, cache_dir=cache_dir
+    )
+    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+    compiled = load_or_compile(
+        store,
+        key.platform,
+        config_fingerprint(config),
+        result.model,
+        error_average_pct=result.errors.average,
     )
     return ModelEntry(
         key=key,
         platform=result.platform,
         model=result.model,
         error_average_pct=result.errors.average,
+        compiled=compiled,
     )
 
 

@@ -155,20 +155,27 @@ class ContentionService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            try:
-                method, path, body = await read_request(reader)
-            except HttpError as exc:
-                await write_response(
-                    writer,
-                    exc.status,
-                    protocol.error_payload(
-                        ServiceError(str(exc)), status=exc.status
-                    ),
+            # Serve requests until the client closes or stops asking for
+            # keep-alive; one-shot clients exit the loop after one turn.
+            while True:
+                try:
+                    method, path, body, keep_alive = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer,
+                        exc.status,
+                        protocol.error_payload(
+                            ServiceError(str(exc)), status=exc.status
+                        ),
+                    )
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client went away mid-request or between requests
+                await self._dispatch(
+                    writer, method, path, body, keep_alive=keep_alive
                 )
-                return
-            except (asyncio.IncompleteReadError, ConnectionError):
-                return  # client went away mid-request
-            await self._dispatch(writer, method, path, body)
+                if not keep_alive:
+                    return
         finally:
             try:
                 writer.close()
@@ -177,7 +184,13 @@ class ContentionService:
                 pass
 
     async def _dispatch(
-        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+        *,
+        keep_alive: bool = False,
     ) -> None:
         known_paths = {p for _, p in self._routes}
         # Unknown paths share one metrics label so scanners cannot grow
@@ -195,7 +208,7 @@ class ContentionService:
                     ServiceError(f"unknown endpoint {path}"), status=404
                 )
             self.metrics.observe_request(endpoint, status, 0.0)
-            await write_response(writer, status, payload)
+            await write_response(writer, status, payload, keep_alive=keep_alive)
             return
 
         if self.metrics.in_flight >= self._max_concurrency:
@@ -211,6 +224,7 @@ class ContentionService:
                     ),
                     status=503,
                 ),
+                keep_alive=keep_alive,
             )
             return
 
@@ -251,7 +265,7 @@ class ContentionService:
         self.metrics.observe_request(
             endpoint, status, time.perf_counter() - started
         )
-        await write_response(writer, status, payload)
+        await write_response(writer, status, payload, keep_alive=keep_alive)
 
     # ---- endpoint handlers -----------------------------------------------------
 
@@ -287,6 +301,44 @@ class ContentionService:
     async def _handle_predict(self, body: object) -> dict:
         platform, seed, queries, is_bulk = protocol.parse_predict(body)
         entry = await self.registry.get(platform, seed)
+        if is_bulk and entry.compiled is not None:
+            # A bulk request is already a batch: skip the batcher and
+            # serialize straight from the compiled kernel's columnar
+            # lookup (no PointPrediction objects on the hot path).
+            self.metrics.compiled_queries_total += len(queries)
+            with span(
+                "service.batch",
+                platform=platform,
+                size=len(queries),
+                compiled=True,
+            ):
+                cols = entry.compiled.predict_columns(
+                    [q.as_tuple() for q in queries]
+                )
+            return {
+                "platform": platform,
+                "seed": seed,
+                "results": [
+                    {
+                        "n": n,
+                        "m_comp": mc,
+                        "m_comm": mm,
+                        "comp_parallel": cp,
+                        "comm_parallel": cm,
+                        "comp_alone": ca,
+                        "comm_alone": cal,
+                    }
+                    for n, mc, mm, cp, cm, ca, cal in zip(
+                        cols["n"].tolist(),
+                        cols["m_comp"].tolist(),
+                        cols["m_comm"].tolist(),
+                        cols["comp_parallel"].tolist(),
+                        cols["comm_parallel"].tolist(),
+                        cols["comp_alone"].tolist(),
+                        cols["comm_alone"].tolist(),
+                    )
+                ],
+            }
         results = await self._predict_queries(entry, queries)
         if is_bulk:
             return {
@@ -302,6 +354,12 @@ class ContentionService:
         self, entry: ModelEntry, queries: list[protocol.PredictQuery]
     ) -> list:
         if self.batcher is None:
+            if entry.compiled is not None:
+                self.metrics.compiled_queries_total += len(queries)
+                return entry.compiled.predict_batch(
+                    [q.as_tuple() for q in queries]
+                )
+            self.metrics.evaluator_queries_total += len(queries)
             return entry.model.predict_batch([q.as_tuple() for q in queries])
         return list(
             await asyncio.gather(
@@ -317,7 +375,8 @@ class ContentionService:
             body
         )
         entry = await self.registry.get(platform, seed)
-        grid = entry.model.predict_grid(core_counts, placements)
+        model = entry.compiled if entry.compiled is not None else entry.model
+        grid = model.predict_grid(core_counts, placements)
         return {
             "platform": platform,
             "seed": seed,

@@ -9,6 +9,7 @@ from repro.benchtrack import (
     load_report,
     parse_report,
     render_comparison,
+    render_comparison_markdown,
     write_report,
 )
 from repro.errors import BenchTrackError
@@ -141,6 +142,57 @@ class TestVerdicts:
         text = render_comparison(comparison)
         assert "FAIL warm_ms" in text
         assert "x1.50" in text
+
+
+class TestMarkdownRenderer:
+    def test_passing_table(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 0.5)),
+            report(t=(110.0, "lower", 0.5)),
+        )
+        text = render_comparison_markdown(comparison)
+        assert text.startswith("### `BENCH_demo` — PASS ✅")
+        assert "| metric | baseline | fresh | Δ% | band% | status |" in text
+        assert "| `t` | 100 | 110 | +10.0 | 50 | ✅ ok |" in text
+
+    def test_failing_table_carries_the_verdict_notes(self):
+        comparison = compare_reports(
+            report(t=(100.0, "lower", 0.5)),
+            report(t=(200.0, "lower", 0.5)),
+        )
+        text = render_comparison_markdown(comparison)
+        assert "FAIL ❌" in text
+        assert "❌ regression" in text
+        assert "- FAIL t: regressed" in text
+
+    def test_every_status_has_a_badge(self):
+        comparison = compare_reports(
+            report(
+                gone=(1.0, "lower", 0.5),
+                stale=(200.0, "lower", 0.5),
+                a=(None, "lower", 0.5),
+            ),
+            report(
+                stale=(100.0, "lower", 0.5),
+                a=(2.0, "lower", 0.5),
+                new=(1.0, "lower", 0.5),
+            ),
+        )
+        text = render_comparison_markdown(comparison)
+        assert "❌ removed" in text
+        assert "❌ improvement (stale baseline)" in text
+        assert "➖ incomparable" in text
+        assert "➕ added" in text
+
+    def test_markdown_and_plain_agree_on_the_verdict(self):
+        for fresh in (110.0, 200.0):
+            comparison = compare_reports(
+                report(t=(100.0, "lower", 0.5)),
+                report(t=(fresh, "lower", 0.5)),
+            )
+            plain = render_comparison(comparison)
+            markdown = render_comparison_markdown(comparison)
+            assert ("PASS" in plain) == ("PASS ✅" in markdown)
 
 
 class TestMalformedBaselines:

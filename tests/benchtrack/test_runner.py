@@ -129,6 +129,34 @@ class TestCliGate:
         assert "FAIL warm_ms" in captured.out
         assert "pipeline:warm_ms (regression)" in captured.err
 
+    def test_markdown_flag_renders_a_gfm_table(self, tmp_path, capsys):
+        write_fresh(tmp_path / "base", value=10.0)
+        write_fresh(tmp_path / "fresh", value=13.0)
+        code = main([
+            "bench", "compare", "pipeline", "--markdown",
+            "--baseline-dir", str(tmp_path / "base"),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "### `BENCH_pipeline` — PASS ✅" in out
+        assert "| metric | baseline | fresh | Δ% | band% | status |" in out
+        assert "| `warm_ms` |" in out
+
+    def test_markdown_flag_keeps_the_gate_verdict(self, tmp_path, capsys):
+        write_fresh(tmp_path / "base", value=10.0)
+        write_fresh(tmp_path / "fresh", value=40.0)  # x4 regression
+        code = main([
+            "bench", "compare", "pipeline", "--markdown",
+            "--baseline-dir", str(tmp_path / "base"),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 14
+        captured = capsys.readouterr()
+        assert "FAIL ❌" in captured.out
+        assert "❌ regression" in captured.out
+        assert "pipeline:warm_ms (regression)" in captured.err
+
     def test_malformed_baseline_is_an_error_not_a_miss(self, tmp_path, capsys):
         base = tmp_path / "base"
         base.mkdir()

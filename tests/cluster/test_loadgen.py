@@ -9,6 +9,7 @@ import pytest
 from repro.errors import ClusterError
 from repro.cluster.loadgen import (
     LoadReport,
+    OverloadTarget,
     PredictWorkload,
     SloTarget,
     run_load,
@@ -170,9 +171,40 @@ class TestReport:
         assert not bad["checks"]["error_rate"]["ok"]
         assert not bad["checks"]["shed_rate"]["ok"]
 
+    def test_overload_verdict_requires_shedding(self):
+        # A run where back-pressure engaged and nothing failed: passes.
+        overloaded = LoadReport(
+            requests=100, ok=60, failed=0, shed=40, duration_s=1.0,
+            latencies_ms=[5.0] * 100,
+        )
+        verdict = overloaded.overload_verdict(OverloadTarget())
+        assert verdict["ok"]
+        assert verdict["checks"]["shed_rate"]["measured"] == 0.4
+
+    def test_overload_verdict_fails_when_nothing_shed(self):
+        idle = LoadReport(
+            requests=100, ok=100, failed=0, shed=0, duration_s=1.0,
+            latencies_ms=[5.0] * 100,
+        )
+        verdict = idle.overload_verdict(OverloadTarget(min_shed_rate=0.01))
+        assert not verdict["ok"]
+        assert not verdict["checks"]["shed_rate"]["ok"]
+        assert verdict["checks"]["error_rate"]["ok"]
+
+    def test_overload_verdict_fails_on_outright_failures(self):
+        melting = LoadReport(
+            requests=100, ok=50, failed=10, shed=40, duration_s=1.0,
+            latencies_ms=[5.0] * 100,
+        )
+        verdict = melting.overload_verdict(OverloadTarget())
+        assert not verdict["ok"]
+        assert not verdict["checks"]["error_rate"]["ok"]
+        assert verdict["checks"]["shed_rate"]["ok"]
+
     def test_summary_is_json_encodable(self):
         report = LoadReport(
             requests=2, ok=2, duration_s=0.5, latencies_ms=[1.0, 2.0]
         )
         json.dumps(report.summary())
         json.dumps(report.slo_verdict(SloTarget()))
+        json.dumps(report.overload_verdict(OverloadTarget()))

@@ -179,3 +179,12 @@ class TestIntrospection:
         assert tracing["by_name"]["service.request"]["count"] == 6
         assert tracing["counters"]["batch.coalesced"] == 3
         assert snapshot["router"]["requests"]["total"] >= 1
+        # Pool health rides along in the router block.  The stub
+        # workers are plain HTTP/1.0 closers, so nothing is reusable —
+        # but every scrape went through the pool.
+        pool = snapshot["router"]["connection_pool"]
+        assert pool["opens"] >= 3
+        assert set(pool) == {
+            "idle", "opens", "reuses", "discards", "evictions",
+            "stale_retries",
+        }

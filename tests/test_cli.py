@@ -293,6 +293,38 @@ class TestCacheCommand:
         assert args.cache_dir is None
 
 
+class TestCompile:
+    def test_compile_then_reuse(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(["compile", "occigen", *cache]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("compiled occigen")
+        assert "3 curves x 4 placements x 257 core counts" in out
+        # A second invocation finds the stored artifact.
+        assert main(["compile", "occigen", *cache]) == 0
+        assert capsys.readouterr().out.startswith("reused occigen")
+
+    def test_n_max_flag_bounds_the_table(self, tmp_path, capsys):
+        assert main(
+            ["compile", "occigen", "--cache-dir", str(tmp_path),
+             "--n-max", "32"]
+        ) == 0
+        assert "33 core counts" in capsys.readouterr().out
+
+    def test_force_recompiles(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(["compile", "occigen", *cache]) == 0
+        capsys.readouterr()
+        assert main(["compile", "occigen", "--force", *cache]) == 0
+        assert capsys.readouterr().out.startswith("compiled occigen")
+
+    def test_compile_without_store_exits_12(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(["compile", "occigen"])
+        assert code == EXIT_CODES[errors.PipelineError] == 12
+        assert "artifact store" in capsys.readouterr().err
+
+
 class TestTraceFlag:
     """``--trace PATH`` around experiment commands + ``trace summarize``."""
 
@@ -433,6 +465,16 @@ class TestClusterParsing:
     def test_cluster_loadgen_platform_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "loadgen", "--platform", "bogus"])
+
+    def test_cluster_loadgen_overload_flags(self):
+        args = build_parser().parse_args(["cluster", "loadgen"])
+        assert not args.overload
+        assert args.min_shed_rate == 0.01
+        args = build_parser().parse_args(
+            ["cluster", "loadgen", "--overload", "--min-shed-rate", "0.2"]
+        )
+        assert args.overload
+        assert args.min_shed_rate == 0.2
 
     def test_cluster_serve_without_cache_dir_fails(self, capsys, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
