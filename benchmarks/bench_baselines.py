@@ -15,13 +15,53 @@ import numpy as np
 
 from repro.baselines import LangguthModel, NaiveModel, QueueingModel, calibrate_baseline
 from repro.evaluation import mape
-from _common import run_figure_pipeline
+from _common import run_figure_pipeline, timed
 
 BASELINES = {
     "naive": NaiveModel,
     "queueing-ps": QueueingModel,
     "langguth-threadfair": LangguthModel,
 }
+
+
+def collect(recorder, benchmark=None) -> None:
+    """Perf-trajectory hook: baseline-vs-model accuracy on two platforms.
+
+    The trajectory watches the *margins*, not just the wall time: the
+    paper model's communication MAPE per predictor on contended henri
+    (tight band — deterministic for a fixed seed) and the near
+    contention-free diablo, where every predictor converges.  A model
+    change that silently erodes the henri margin fails the gate.
+    """
+    holder: dict = {}
+    duration_s = timed(
+        lambda: holder.setdefault("henri", score_platform("henri"))
+    )
+    henri = holder["henri"]
+    recorder.metric(
+        "henri_wall_ms", duration_s * 1e3, unit="ms", direction="lower",
+        band=2.5,
+    )
+    for name, value in sorted(henri.items()):
+        slug = name.replace("-", "_")
+        recorder.metric(
+            f"henri_{slug}_comm_mape_pct", value, unit="%",
+            direction="lower", band=0.05,
+        )
+    diablo = score_platform("diablo")
+    recorder.metric(
+        "diablo_paper_model_comm_mape_pct", diablo["paper-model"],
+        unit="%", direction="lower", band=0.05,
+    )
+    recorder.metric(
+        "diablo_naive_comm_mape_pct", diablo["naive"], unit="%",
+        direction="lower", band=0.05,
+    )
+    recorder.context(
+        platforms=["henri", "diablo"],
+        predictors=sorted([*BASELINES, "paper-model"]),
+        seed=1,
+    )
 
 
 def score_platform(platform_name: str) -> dict[str, float]:

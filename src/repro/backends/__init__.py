@@ -1,0 +1,52 @@
+"""Pluggable contention-model backends and the cross-model tournament.
+
+Every analytic treatment of memory contention the suite knows — the
+paper's threshold model, the §II-D / §V baselines, and competing
+formulations from the literature — behind one protocol
+(:class:`~repro.backends.base.ModelBackend` /
+:class:`~repro.backends.base.CalibratedBackend`), with artifact-store
+persistence (:mod:`repro.backends.store`), a registry
+(:data:`~repro.backends.registry.BACKENDS`), and a per-regime
+tournament (:mod:`repro.backends.tournament`).  See
+``docs/BACKENDS.md``.
+"""
+
+from repro.backends.base import (
+    CalibratedBackend,
+    ModelBackend,
+    TwoInstantiationBackend,
+)
+from repro.backends.registry import BACKENDS, backend_ids, get_backend
+from repro.backends.store import (
+    backend_key,
+    load_backend,
+    load_or_calibrate,
+    store_backend,
+)
+from repro.backends.tournament import (
+    PlatformTournament,
+    RegimeScore,
+    TournamentRouter,
+    render_winner_table,
+    run_tournament,
+    score_backends,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CalibratedBackend",
+    "ModelBackend",
+    "PlatformTournament",
+    "RegimeScore",
+    "TournamentRouter",
+    "TwoInstantiationBackend",
+    "backend_ids",
+    "backend_key",
+    "get_backend",
+    "load_backend",
+    "load_or_calibrate",
+    "render_winner_table",
+    "run_tournament",
+    "score_backends",
+    "store_backend",
+]

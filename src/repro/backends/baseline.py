@@ -1,0 +1,177 @@
+"""The §II-D / §V baseline predictors behind the backend protocol.
+
+Each :class:`~repro.baselines.base.BaselinePredictor` models a *single*
+placement; the adapter calibrates one predictor per sample placement
+(local and remote, §IV-A2) plus equation 6's substituted middle case,
+and lets :class:`~repro.backends.base.TwoInstantiationBackend` apply
+the placement selection rules — so the baselines compete with the
+paper's model on the full placement grid, not just the diagonal they
+were historically scored on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.backends.base import ModelBackend, TwoInstantiationBackend
+from repro.baselines.base import (
+    BaselineInputs,
+    BaselinePredictor,
+    calibrate_baseline,
+)
+from repro.baselines.langguth import LangguthModel
+from repro.baselines.naive import NaiveModel
+from repro.baselines.queueing import QueueingModel
+from repro.bench.sweep import sample_placements
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.results import PlatformDataset
+    from repro.topology.platforms import Platform
+
+__all__ = ["BaselineBackend", "CalibratedBaseline"]
+
+
+class _Side:
+    """One placement's predictor, exposing the side surface
+    (``comp_parallel``/``comm_parallel``/``comp_alone``/``b_comm_seq``)."""
+
+    __slots__ = ("_predictor",)
+
+    def __init__(self, predictor: BaselinePredictor) -> None:
+        self._predictor = predictor
+
+    @property
+    def b_comm_seq(self) -> float:
+        return self._predictor.inputs.b_comm_seq
+
+    def comp_parallel(self, n: int) -> float:
+        return self._predictor.comp_parallel(n)
+
+    def comm_parallel(self, n: int) -> float:
+        return self._predictor.comm_parallel(n)
+
+    def comp_alone(self, n: int) -> float:
+        return self._predictor.comp_alone(n)
+
+
+class CalibratedBaseline(TwoInstantiationBackend):
+    """A baseline predictor calibrated for both sample placements."""
+
+    def __init__(
+        self,
+        *,
+        backend_id: str,
+        predictor_cls: type[BaselinePredictor],
+        local: BaselineInputs,
+        remote: BaselineInputs,
+        nodes_per_socket: int,
+        n_numa_nodes: int,
+    ) -> None:
+        # Equation 6's middle case: local contention behaviour with the
+        # remote network nominal substituted in.
+        substituted = dataclasses.replace(local, b_comm_seq=remote.b_comm_seq)
+        super().__init__(
+            local=_Side(predictor_cls(local)),
+            remote=_Side(predictor_cls(remote)),
+            substituted=_Side(predictor_cls(substituted)),
+            nodes_per_socket=nodes_per_socket,
+            n_numa_nodes=n_numa_nodes,
+        )
+        self._backend_id = backend_id
+        self._inputs_local = local
+        self._inputs_remote = remote
+
+    @property
+    def backend_id(self) -> str:
+        return self._backend_id
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "local": dataclasses.asdict(self._inputs_local),
+            "remote": dataclasses.asdict(self._inputs_remote),
+            "nodes_per_socket": self.nodes_per_socket,
+            "n_numa_nodes": self.n_numa_nodes,
+        }
+
+
+class BaselineBackend(ModelBackend):
+    """Adapter turning one baseline predictor class into a backend."""
+
+    def __init__(self, predictor_cls: type[BaselinePredictor]) -> None:
+        self._predictor_cls = predictor_cls
+        # BaselinePredictor.name is an instance property; probe it once
+        # with throwaway inputs so the id never drifts from the class.
+        probe = predictor_cls(
+            BaselineInputs(
+                bus_capacity_gbps=1.0,
+                b_comp_seq=1.0,
+                b_comm_seq=1.0,
+                t_seq_max=1.0,
+            )
+        )
+        self._backend_id = probe.name
+
+    @property
+    def backend_id(self) -> str:
+        return self._backend_id
+
+    @property
+    def version(self) -> int:
+        return 1
+
+    def calibrate(
+        self, dataset: "PlatformDataset", platform: "Platform"
+    ) -> CalibratedBaseline:
+        local_key, remote_key = sample_placements(platform)
+        inputs = {}
+        for side, key in (("local", local_key), ("remote", remote_key)):
+            if key not in dataset.sweep:
+                raise ModelError(
+                    f"dataset for {dataset.platform_name!r} lacks the sample "
+                    f"placement {key}; measured: {dataset.sweep.placements()}"
+                )
+            inputs[side] = calibrate_baseline(
+                dataset.sweep[key],
+                platform=dataset.platform_name,
+                placement=key,
+            )
+        return CalibratedBaseline(
+            backend_id=self._backend_id,
+            predictor_cls=self._predictor_cls,
+            local=inputs["local"],
+            remote=inputs["remote"],
+            nodes_per_socket=platform.nodes_per_socket,
+            n_numa_nodes=platform.machine.n_numa_nodes,
+        )
+
+    def from_state(self, state: Mapping[str, Any]) -> CalibratedBaseline:
+        try:
+            local = BaselineInputs(**{
+                k: float(v) for k, v in dict(state["local"]).items()
+            })
+            remote = BaselineInputs(**{
+                k: float(v) for k, v in dict(state["remote"]).items()
+            })
+            return CalibratedBaseline(
+                backend_id=self._backend_id,
+                predictor_cls=self._predictor_cls,
+                local=local,
+                remote=remote,
+                nodes_per_socket=int(state["nodes_per_socket"]),
+                n_numa_nodes=int(state["n_numa_nodes"]),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ModelError(
+                f"{self._backend_id} backend state is malformed: {exc}"
+            ) from exc
+
+
+def baseline_backends() -> tuple[BaselineBackend, ...]:
+    """One adapter per shipped baseline predictor."""
+    return (
+        BaselineBackend(NaiveModel),
+        BaselineBackend(QueueingModel),
+        BaselineBackend(LangguthModel),
+    )

@@ -1,0 +1,250 @@
+"""Afzal-style overlap backend (arXiv 2011.00243).
+
+Afzal, Hager and Wellein model concurrently running *memory-bound
+kernels* through a shared saturating bandwidth curve: adding streams
+moves the memory subsystem along one saturation characteristic instead
+of splitting a fixed capacity.  Transplanted to this problem:
+
+* the computation-alone curve is fitted with a rational saturation
+  characteristic ``B(x) = B_sat * x / (x + n_half)`` (the classic
+  single-knee bandwidth ramp; ``n_half`` is the core count at half
+  saturation), via the linearized least-squares fit of ``1/B`` against
+  ``1/n``;
+* the communication stream counts as ``w = B_comm_seq / B_comp_seq``
+  core-equivalents of pressure, so running both sides puts the system
+  at ``B(n + w)`` on the same characteristic;
+* below saturation nobody is slowed; past it, the achievable total is
+  shared proportionally to demand (both kernels are memory-bound, and
+  the overlap model knows no priority classes).
+
+Where the paper's threshold model encodes priorities and a minimum
+communication guarantee, this backend bets everything on the shape of
+one saturation curve — the tournament shows on which regimes that bet
+pays off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.backends.base import (
+    ModelBackend,
+    TwoInstantiationBackend,
+    sample_curves,
+)
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.results import ModeCurves, PlatformDataset
+    from repro.topology.platforms import Platform
+
+__all__ = ["CalibratedOverlap", "OverlapBackend", "SaturationSide"]
+
+OVERLAP_BACKEND_ID = "overlap-afzal"
+
+_SIDE_FIELDS = ("b_sat", "n_half", "b_comp_seq", "b_comm_seq")
+
+
+class SaturationSide:
+    """One instantiation: a fitted saturation curve plus the stream weights."""
+
+    __slots__ = ("b_sat", "n_half", "b_comp_seq", "b_comm_seq")
+
+    def __init__(
+        self,
+        *,
+        b_sat: float,
+        n_half: float,
+        b_comp_seq: float,
+        b_comm_seq: float,
+    ) -> None:
+        if b_sat <= 0.0 or b_comp_seq <= 0.0 or b_comm_seq <= 0.0:
+            raise ModelError(
+                "saturation side needs positive b_sat, b_comp_seq and "
+                f"b_comm_seq, got {b_sat}, {b_comp_seq}, {b_comm_seq}"
+            )
+        if n_half < 0.0 or not np.isfinite(n_half):
+            raise ModelError(f"n_half must be finite and >= 0, got {n_half}")
+        self.b_sat = float(b_sat)
+        self.n_half = float(n_half)
+        self.b_comp_seq = float(b_comp_seq)
+        self.b_comm_seq = float(b_comm_seq)
+
+    # ---- the characteristic ----------------------------------------------------
+
+    def _sat(self, x: float) -> float:
+        """``B(x)`` — achievable bandwidth at ``x`` core-equivalents."""
+        if x <= 0.0:
+            return 0.0
+        return self.b_sat * x / (x + self.n_half)
+
+    @property
+    def comm_weight(self) -> float:
+        """Core-equivalents of pressure one communication stream adds."""
+        return self.b_comm_seq / self.b_comp_seq
+
+    # ---- side surface ----------------------------------------------------------
+
+    def comp_alone(self, n: int) -> float:
+        self._check_n(n)
+        # One core cannot exceed its own issue rate, however steep the
+        # fitted characteristic starts.
+        return min(self._sat(float(n)), n * self.b_comp_seq)
+
+    def _shares(self, n: int) -> tuple[float, float]:
+        comp_demand = self.comp_alone(n)
+        comm_demand = self.b_comm_seq
+        achievable = self._sat(float(n) + self.comm_weight)
+        total = comp_demand + comm_demand
+        if total <= achievable or total == 0.0:
+            return comp_demand, comm_demand
+        scale = achievable / total
+        return comp_demand * scale, comm_demand * scale
+
+    def comp_parallel(self, n: int) -> float:
+        self._check_n(n)
+        return self._shares(n)[0]
+
+    def comm_parallel(self, n: int) -> float:
+        self._check_n(n)
+        return self._shares(n)[1]
+
+    @staticmethod
+    def _check_n(n: int) -> None:
+        if n < 0:
+            raise ModelError(f"core count must be >= 0, got {n}")
+
+    # ---- calibration -----------------------------------------------------------
+
+    @classmethod
+    def fit(cls, curves: "ModeCurves", *, platform: str) -> "SaturationSide":
+        """Fit the characteristic to one placement's measured curves."""
+        ns = curves.core_counts.astype(float)
+        ys = curves.comp_alone.astype(float)
+        b_comm_seq = float(np.median(curves.comm_alone))
+        b_comp_seq = float(ys[0]) / float(ns[0]) if ys[0] > 0.0 else 0.0
+        if b_comm_seq <= 0.0 or b_comp_seq <= 0.0:
+            raise ModelError(
+                f"cannot fit the overlap model for platform {platform!r}: "
+                "non-positive sequential bandwidths in the sample curves"
+            )
+        usable = ys > 0.0
+        b_sat = float(np.max(ys))
+        if int(np.count_nonzero(usable)) >= 2:
+            # Linearized least squares: 1/y = 1/b_sat + (n_half/b_sat)/n.
+            inv_n = 1.0 / ns[usable]
+            inv_y = 1.0 / ys[usable]
+            slope, intercept = np.polyfit(inv_n, inv_y, 1)
+            if intercept > 0.0 and slope >= 0.0:
+                b_sat = 1.0 / float(intercept)
+                n_half = float(slope) * b_sat
+                return cls(
+                    b_sat=b_sat,
+                    n_half=n_half,
+                    b_comp_seq=b_comp_seq,
+                    b_comm_seq=b_comm_seq,
+                )
+        # Degenerate fit (noise-free linear ramps make the intercept hit
+        # zero): anchor the curve at the first measured point instead.
+        y0 = float(ys[0])
+        n_half = float(ns[0]) * max(b_sat - y0, 0.0) / y0
+        return cls(
+            b_sat=b_sat,
+            n_half=n_half,
+            b_comp_seq=b_comp_seq,
+            b_comm_seq=b_comm_seq,
+        )
+
+    # ---- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in _SIDE_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SaturationSide":
+        try:
+            return cls(**{name: float(data[name]) for name in _SIDE_FIELDS})
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(
+                f"overlap side state is malformed: {exc}"
+            ) from exc
+
+
+class CalibratedOverlap(TwoInstantiationBackend):
+    """The overlap model calibrated for both sample placements."""
+
+    def __init__(
+        self,
+        *,
+        local: SaturationSide,
+        remote: SaturationSide,
+        nodes_per_socket: int,
+        n_numa_nodes: int,
+    ) -> None:
+        substituted = SaturationSide(
+            b_sat=local.b_sat,
+            n_half=local.n_half,
+            b_comp_seq=local.b_comp_seq,
+            b_comm_seq=remote.b_comm_seq,
+        )
+        super().__init__(
+            local=local,
+            remote=remote,
+            substituted=substituted,
+            nodes_per_socket=nodes_per_socket,
+            n_numa_nodes=n_numa_nodes,
+        )
+
+    @property
+    def backend_id(self) -> str:
+        return OVERLAP_BACKEND_ID
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "local": self._local.to_dict(),
+            "remote": self._remote.to_dict(),
+            "nodes_per_socket": self.nodes_per_socket,
+            "n_numa_nodes": self.n_numa_nodes,
+        }
+
+
+class OverlapBackend(ModelBackend):
+    """Afzal/Hager/Wellein-style shared saturation characteristic."""
+
+    @property
+    def backend_id(self) -> str:
+        return OVERLAP_BACKEND_ID
+
+    @property
+    def version(self) -> int:
+        return 1
+
+    def calibrate(
+        self, dataset: "PlatformDataset", platform: "Platform"
+    ) -> CalibratedOverlap:
+        curves = sample_curves(dataset, platform)
+        return CalibratedOverlap(
+            local=SaturationSide.fit(
+                curves["local"], platform=dataset.platform_name
+            ),
+            remote=SaturationSide.fit(
+                curves["remote"], platform=dataset.platform_name
+            ),
+            nodes_per_socket=platform.nodes_per_socket,
+            n_numa_nodes=platform.machine.n_numa_nodes,
+        )
+
+    def from_state(self, state: Mapping[str, Any]) -> CalibratedOverlap:
+        try:
+            return CalibratedOverlap(
+                local=SaturationSide.from_dict(state["local"]),
+                remote=SaturationSide.from_dict(state["remote"]),
+                nodes_per_socket=int(state["nodes_per_socket"]),
+                n_numa_nodes=int(state["n_numa_nodes"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(
+                f"overlap backend state is malformed: {exc}"
+            ) from exc

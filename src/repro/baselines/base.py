@@ -36,15 +36,40 @@ class BaselineInputs:
                 raise ModelError(f"{name} must be positive")
 
 
-def calibrate_baseline(curves: ModeCurves) -> BaselineInputs:
-    """Extract baseline inputs from one placement's curves."""
+def calibrate_baseline(
+    curves: ModeCurves,
+    *,
+    platform: str | None = None,
+    placement: "tuple[int, int] | None" = None,
+) -> BaselineInputs:
+    """Extract baseline inputs from one placement's curves.
+
+    A degenerate curve (e.g. an all-zero ``comm_alone`` or a sweep with
+    a zero-bandwidth first point) is reported here, naming the platform
+    and placement it came from — not as a bare ``"... must be
+    positive"`` from :class:`BaselineInputs` with no way to tell *which*
+    of a grid's curves was broken.
+    """
     stacked = curves.total_parallel()
-    return BaselineInputs(
-        bus_capacity_gbps=float(np.max(stacked)),
-        b_comp_seq=float(curves.comp_alone[0]) / int(curves.core_counts[0]),
-        b_comm_seq=float(np.median(curves.comm_alone)),
-        t_seq_max=float(np.max(curves.comp_alone)),
-    )
+    extracted = {
+        "bus_capacity_gbps": float(np.max(stacked)),
+        "b_comp_seq": float(curves.comp_alone[0]) / int(curves.core_counts[0]),
+        "b_comm_seq": float(np.median(curves.comm_alone)),
+        "t_seq_max": float(np.max(curves.comp_alone)),
+    }
+    degenerate = sorted(k for k, v in extracted.items() if v <= 0.0)
+    if degenerate:
+        where = (
+            f"platform {platform!r}" if platform is not None else "platform ?"
+        )
+        at = f" placement {placement}" if placement is not None else ""
+        raise ModelError(
+            f"cannot calibrate a baseline for {where}{at}: the measured "
+            f"curves ({curves.n_points} point(s) at core counts "
+            f"{curves.core_counts.tolist()}) yield non-positive "
+            f"{', '.join(degenerate)}"
+        )
+    return BaselineInputs(**extracted)
 
 
 class BaselinePredictor(abc.ABC):

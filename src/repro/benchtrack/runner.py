@@ -80,6 +80,18 @@ AREAS: dict[str, AreaSpec] = {
         # No span lifts: the workers are subprocesses, so the parent
         # tracer never sees their pipeline/service spans.
     ),
+    "baselines": AreaSpec(
+        name="baselines",
+        module="bench_baselines",
+        title="baseline predictors vs the paper model: comm-MAPE margins",
+        span_names=(
+            "pipeline.measure",
+            "pipeline.calibrate",
+            "pipeline.predict",
+            "pipeline.score",
+        ),
+        # Uncached figure pipelines (cache_dir=None): no store.* counters.
+    ),
     "fig3_henri": AreaSpec(
         name="fig3_henri",
         module="bench_fig3_henri",

@@ -10,8 +10,13 @@ Commands
     Run the benchmark sweep and print/export the curves.
 ``calibrate <platform>``
     Print the calibrated local/remote model parameters.
-``predict <platform> -n N --comp MC --comm MM``
-    Predict bandwidths for one configuration.
+``predict <platform> -n N --comp MC --comm MM [--backend B]``
+    Predict bandwidths for one configuration (optionally through a
+    registered model backend or the ``tournament`` winner router).
+``tournament run|report [PLATFORM ...]``
+    Cross-model tournament: calibrate every registered model backend,
+    score each on every platform × placement × core-band regime, and
+    print the per-regime winner table (docs/BACKENDS.md).
 ``figure <figN>``
     Regenerate a paper figure as ASCII (and optionally CSV).
 ``table1`` / ``table2``
@@ -251,6 +256,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("-n", "--cores", type=int, required=True)
     p_pred.add_argument("--comp", type=int, required=True, metavar="M_COMP")
     p_pred.add_argument("--comm", type=int, required=True, metavar="M_COMM")
+    p_pred.add_argument(
+        "--backend",
+        default=None,
+        metavar="BACKEND",
+        help="answer with a registered model backend, or 'tournament' "
+        "for the per-regime winner (default: the threshold model)",
+    )
+
+    p_tour = sub.add_parser(
+        "tournament",
+        help="cross-model tournament: score every backend per regime",
+    )
+    tsub_t = p_tour.add_subparsers(dest="tournament_command", required=True)
+    t_run = tsub_t.add_parser(
+        "run", parents=[pipeline_opts],
+        help="calibrate every backend and emit the per-regime winner table",
+    )
+    t_run.add_argument(
+        "platforms",
+        nargs="*",
+        metavar="PLATFORM",
+        help="platforms to contest (default: every archived platform)",
+    )
+    t_rep = tsub_t.add_parser(
+        "report", parents=[pipeline_opts],
+        help="render the winner table from stored tournament artifacts",
+    )
+    t_rep.add_argument(
+        "platforms",
+        nargs="*",
+        metavar="PLATFORM",
+        help="platforms to report (default: every archived platform)",
+    )
 
     p_fig = sub.add_parser(
         "figure", parents=[pipeline_opts], help="regenerate a paper figure"
@@ -458,6 +496,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="hydrate a model before accepting traffic (repeatable); "
         "with --cache-dir this is a warm start from the artifact store",
     )
+    p_serve.add_argument(
+        "--prefetch-artifact",
+        action="append",
+        default=[],
+        metavar="ENTRY_ID",
+        help="fault a stored artifact (backend calibration, tournament "
+        "table) into the cache before preloading (repeatable); missing "
+        "entries are skipped — the cluster supervisor passes each "
+        "worker its shard-assigned backend artifacts this way",
+    )
 
     p_cluster = sub.add_parser(
         "cluster", help="sharded multi-worker serving tier"
@@ -571,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
     q_pred.add_argument("-n", "--cores", type=int, required=True)
     q_pred.add_argument("--comp", type=int, required=True, metavar="M_COMP")
     q_pred.add_argument("--comm", type=int, required=True, metavar="M_COMM")
+    q_pred.add_argument(
+        "--backend",
+        default=None,
+        metavar="BACKEND",
+        help="server-side model backend, or 'tournament' for the "
+        "per-regime winner (default: the threshold model)",
+    )
     q_adv = qsub.add_parser(
         "advise", parents=[remote], help="recommend cores and placement"
     )
@@ -578,6 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
     q_adv.add_argument("--comp-bytes", type=float, required=True)
     q_adv.add_argument("--comm-bytes", type=float, required=True)
     q_adv.add_argument("--top", type=int, default=5)
+    q_adv.add_argument(
+        "--backend",
+        default=None,
+        metavar="BACKEND",
+        help="server-side model backend, or 'tournament' for the "
+        "per-regime winner (default: the threshold model)",
+    )
 
     return parser
 
@@ -683,21 +745,130 @@ def _cmd_compile(args: argparse.Namespace) -> str:
     )
 
 
+def _calibrated_backend_model(args: argparse.Namespace, result):
+    """The ``--backend`` model of a local prediction command.
+
+    ``tournament`` builds the per-regime winner router (calibrating the
+    whole roster); any other name calibrates just that backend.  Both
+    go through the artifact store when a cache dir is configured.
+    """
+    from repro.backends import get_backend, load_or_calibrate
+    from repro.backends.tournament import (
+        TournamentRouter,
+        run_platform_tournament,
+    )
+    from repro.pipeline.fingerprint import config_fingerprint
+    from repro.pipeline.store import ArtifactStore
+
+    cache_dir = _resolve_cache_dir(args)
+    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+    config = SweepConfig(seed=args.seed)
+    if args.backend == "tournament":
+        run = run_platform_tournament(result, config=config, store=store)
+        return TournamentRouter(run.tournament, run.calibrated)
+    backend = get_backend(args.backend)
+    calibrated, _ = load_or_calibrate(
+        store,
+        backend,
+        result.dataset,
+        result.platform,
+        config_fingerprint(config),
+    )
+    return calibrated
+
+
 def _cmd_predict(args: argparse.Namespace) -> str:
     platform = get_platform(args.platform)
     result = run_platform_experiment(
         platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
     )
     model = result.model
+    note = ""
+    if args.backend is not None and args.backend != "threshold":
+        model = _calibrated_backend_model(args, result)
+        note = f" [backend {args.backend}]"
+        if args.backend == "tournament":
+            winner = model.winner_for(args.cores, args.comp, args.comm)
+            note = f" [backend tournament -> {winner}]"
     comp = model.comp_parallel(args.cores, args.comp, args.comm)
     comm = model.comm_parallel(args.cores, args.comp, args.comm)
     alone = model.comp_alone(args.cores, args.comp)
     return (
         f"{platform.name}: n={args.cores}, comp data on node {args.comp}, "
-        f"comm data on node {args.comm}\n"
+        f"comm data on node {args.comm}{note}\n"
         f"  predicted computation bandwidth (overlapped): {comp:.2f} GB/s\n"
         f"  predicted communication bandwidth (overlapped): {comm:.2f} GB/s\n"
         f"  predicted computation bandwidth (alone): {alone:.2f} GB/s"
+    )
+
+
+def _cmd_tournament(args: argparse.Namespace) -> str:
+    from repro.backends import BACKENDS, render_winner_table
+    from repro.backends.tournament import (
+        load_tournament,
+        run_tournament,
+        tournament_fingerprint,
+    )
+    from repro.pipeline.fingerprint import config_fingerprint
+    from repro.pipeline.store import ArtifactStore
+
+    cache_dir = _resolve_cache_dir(args)
+    config = SweepConfig(seed=args.seed)
+    platforms = list(args.platforms) or list(platform_names())
+    for name in platforms:
+        if name not in platform_names():
+            get_platform(name)  # raises TopologyError listing valid names
+
+    if args.tournament_command == "run":
+        runs = run_tournament(
+            platforms=platforms,
+            config=config,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+        )
+        table = render_winner_table(runs)
+        cached = sum(1 for run in runs.values() if run.cached)
+        hits = sum(
+            sum(1 for c in run.backend_cached.values() if c)
+            for run in runs.values()
+        )
+        total = sum(len(run.backend_cached) for run in runs.values())
+        status = (
+            f"{len(runs)} platform(s), {len(BACKENDS)} backends; "
+            f"{hits}/{total} calibrations and {cached}/{len(runs)} "
+            f"winner tables served from the store"
+            if cache_dir is not None
+            else f"{len(runs)} platform(s), {len(BACKENDS)} backends "
+            "(no --cache-dir: nothing persisted)"
+        )
+        return table + "\n" + status
+    if args.tournament_command == "report":
+        if cache_dir is None:
+            raise PipelineError(
+                "tournament report reads stored artifacts: pass "
+                "--cache-dir or set $REPRO_CACHE_DIR"
+            )
+        store = ArtifactStore(cache_dir)
+        fingerprint = tournament_fingerprint(
+            config_fingerprint(config), BACKENDS
+        )
+        stored = {}
+        for name in platforms:
+            tournament = load_tournament(store, name, fingerprint)
+            if tournament is not None:
+                stored[name] = tournament
+        if not stored:
+            raise PipelineError(
+                f"no stored tournament for seed {args.seed} in "
+                f"{store.root}: run `repro tournament run --cache-dir "
+                f"{cache_dir}` first"
+            )
+        missing = [name for name in platforms if name not in stored]
+        table = render_winner_table(stored)
+        if missing:
+            table += "\nnot yet contested: " + ", ".join(missing)
+        return table
+    raise ModelError(
+        f"unknown tournament command {args.tournament_command!r}"
     )
 
 
@@ -1038,6 +1209,39 @@ def _parse_preload_keys(values: list[str]) -> list[tuple[str, int]]:
     return keys
 
 
+def _prefetch_artifacts(
+    cache_dir: Path | None, entry_ids: list[str]
+) -> int:
+    """Fault listed artifact entries into the store before preload.
+
+    The cluster supervisor hands each worker the entry ids of its
+    shard-assigned backend calibrations and tournament tables; reading
+    them here warms the page cache (and records a store hit) so the
+    subsequent ``--preload`` hydration is pure warm reads.  Missing
+    entries are skipped: a first-boot fleet has nothing to prefetch.
+    """
+    from repro.errors import PipelineError as _PipelineError
+    from repro.pipeline.store import ArtifactStore
+
+    if not entry_ids:
+        return 0
+    if cache_dir is None:
+        raise ServiceError(
+            "--prefetch-artifact needs an artifact store: pass "
+            "--cache-dir or set $REPRO_CACHE_DIR"
+        )
+    store = ArtifactStore(cache_dir)
+    warmed = 0
+    for entry_id in entry_ids:
+        try:
+            key = store.find(entry_id)
+        except _PipelineError:
+            continue  # not published yet; preload will calibrate it
+        if store.load(key) is not None:
+            warmed += 1
+    return warmed
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
     import signal
@@ -1046,6 +1250,13 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     cache_dir = _resolve_cache_dir(args)
     preload_keys = _parse_preload_keys(args.preload)
+    if args.prefetch_artifact:
+        warmed = _prefetch_artifacts(cache_dir, args.prefetch_artifact)
+        print(
+            f"prefetched {warmed}/{len(args.prefetch_artifact)} "
+            "artifact(s)",
+            flush=True,
+        )
 
     async def _serve() -> None:
         service = ContentionService(
@@ -1252,10 +1463,12 @@ def _cmd_query(args: argparse.Namespace) -> str:
             m_comp=args.comp,
             m_comm=args.comm,
             seed=args.seed,
+            backend=args.backend,
         )
+        note = f" [backend {args.backend}]" if args.backend else ""
         return (
             f"{args.platform}: n={args.cores}, comp data on node "
-            f"{args.comp}, comm data on node {args.comm}\n"
+            f"{args.comp}, comm data on node {args.comm}{note}\n"
             f"  predicted computation bandwidth (overlapped): "
             f"{result['comp_parallel']:.2f} GB/s\n"
             f"  predicted communication bandwidth (overlapped): "
@@ -1270,6 +1483,7 @@ def _cmd_query(args: argparse.Namespace) -> str:
             comm_bytes=args.comm_bytes,
             top=args.top,
             seed=args.seed,
+            backend=args.backend,
         )
         recs = result["recommendations"]
         lines = [f"Top {len(recs)} configurations for {args.platform}:"]
@@ -1292,6 +1506,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "compile": _cmd_compile,
     "predict": _cmd_predict,
+    "tournament": _cmd_tournament,
     "figure": _cmd_figure,
     "table1": _cmd_table1,
     "table2": _cmd_table2,

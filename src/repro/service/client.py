@@ -139,19 +139,25 @@ class ServiceClient:
         )
 
     def predict(
-        self, platform: str, *, n: int, m_comp: int, m_comm: int, seed: int = 0
+        self,
+        platform: str,
+        *,
+        n: int,
+        m_comp: int,
+        m_comm: int,
+        seed: int = 0,
+        backend: str | None = None,
     ) -> dict:
-        return self._request(
-            "POST",
-            "/predict",
-            {
-                "platform": platform,
-                "seed": seed,
-                "n": n,
-                "m_comp": m_comp,
-                "m_comm": m_comm,
-            },
-        )
+        body = {
+            "platform": platform,
+            "seed": seed,
+            "n": n,
+            "m_comp": m_comp,
+            "m_comm": m_comm,
+        }
+        if backend is not None:
+            body["backend"] = backend
+        return self._request("POST", "/predict", body)
 
     def predict_many(
         self,
@@ -159,9 +165,10 @@ class ServiceClient:
         queries: Sequence[tuple[int, int, int]],
         *,
         seed: int = 0,
+        backend: str | None = None,
     ) -> list[dict]:
         """Bulk form of :meth:`predict`: one request, many queries."""
-        body = {
+        body: dict = {
             "platform": platform,
             "seed": seed,
             "queries": [
@@ -169,6 +176,8 @@ class ServiceClient:
                 for n, m_comp, m_comm in queries
             ],
         }
+        if backend is not None:
+            body["backend"] = backend
         return self._request("POST", "/predict", body)["results"]
 
     def predict_grid(
@@ -196,15 +205,15 @@ class ServiceClient:
         comm_bytes: float,
         top: int = 5,
         seed: int = 0,
+        backend: str | None = None,
     ) -> dict:
-        return self._request(
-            "POST",
-            "/advise",
-            {
-                "platform": platform,
-                "seed": seed,
-                "comp_bytes": comp_bytes,
-                "comm_bytes": comm_bytes,
-                "top": top,
-            },
-        )
+        body = {
+            "platform": platform,
+            "seed": seed,
+            "comp_bytes": comp_bytes,
+            "comm_bytes": comm_bytes,
+            "top": top,
+        }
+        if backend is not None:
+            body["backend"] = backend
+        return self._request("POST", "/advise", body)

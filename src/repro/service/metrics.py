@@ -69,6 +69,12 @@ class ServiceMetrics:
         #: Queries answered by the live evaluator (no compiled model,
         #: or a core count beyond the compiled range).
         self.evaluator_queries_total = 0
+        # Model backends.
+        #: backend id -> queries served by that backend.  The default
+        #: threshold path counts under "threshold"; tournament-routed
+        #: queries count under "tournament" plus "tournament:<winner>"
+        #: for the backend the router actually dispatched to.
+        self.backend_queries: dict[str, int] = {}
 
     # ---- recording -------------------------------------------------------------
 
@@ -94,6 +100,11 @@ class ServiceMetrics:
             self.registry_waits += 1
         else:
             self.registry_misses += 1
+
+    def observe_backend(self, backend: str, queries: int = 1) -> None:
+        self.backend_queries[backend] = (
+            self.backend_queries.get(backend, 0) + queries
+        )
 
     def observe_batch(self, size: int) -> None:
         self.batches_total += 1
@@ -141,6 +152,11 @@ class ServiceMetrics:
             "compiled": {
                 "table_queries": self.compiled_queries_total,
                 "evaluator_queries": self.evaluator_queries_total,
+            },
+            "backends": {
+                "queries": {
+                    k: v for k, v in sorted(self.backend_queries.items())
+                },
             },
             # Per-span-name timing of the active tracer (requests,
             # batches, calibrations); {"enabled": False} when off.

@@ -110,6 +110,19 @@ def _platform_and_seed(body: dict) -> tuple[str, int]:
     return platform, seed
 
 
+def _backend(body: dict) -> str | None:
+    """The optional ``backend`` selector (``None`` = the default
+    threshold model).  Validity of the name is the registry's business;
+    the parser only enforces the type."""
+    raw = _get(body, "backend", default=None)
+    if raw is None:
+        return None
+    backend = _as_str(raw, "backend")
+    if not backend:
+        raise ServiceError("field 'backend' must be a non-empty string")
+    return backend
+
+
 # ---- per-endpoint parsers -------------------------------------------------------
 
 
@@ -140,14 +153,19 @@ def parse_calibrate(body: object) -> tuple[str, int]:
     return _platform_and_seed(_require_mapping(body))
 
 
-def parse_predict(body: object) -> tuple[str, int, list[PredictQuery], bool]:
-    """``POST /predict`` -> (platform, seed, queries, is_bulk).
+def parse_predict(
+    body: object,
+) -> tuple[str, int, list[PredictQuery], bool, str | None]:
+    """``POST /predict`` -> (platform, seed, queries, is_bulk, backend).
 
     Accepts either one inline query (``n``/``m_comp``/``m_comm`` at the
     top level) or a bulk ``queries`` list; the two forms are exclusive.
+    ``backend`` selects a registered model backend (or ``tournament``);
+    absent means the default threshold model.
     """
     body = _require_mapping(body)
     platform, seed = _platform_and_seed(body)
+    backend = _backend(body)
     if "queries" in body:
         if any(k in body for k in ("n", "m_comp", "m_comm")):
             raise ServiceError(
@@ -160,8 +178,14 @@ def parse_predict(body: object) -> tuple[str, int, list[PredictQuery], bool]:
             _parse_query(item, where=f"queries[{i}]")
             for i, item in enumerate(raw)
         ]
-        return platform, seed, queries, True
-    return platform, seed, [_parse_query(body, where="request body")], False
+        return platform, seed, queries, True, backend
+    return (
+        platform,
+        seed,
+        [_parse_query(body, where="request body")],
+        False,
+        backend,
+    )
 
 
 def parse_predict_grid(
@@ -191,11 +215,14 @@ def parse_predict_grid(
     return platform, seed, core_counts, placements
 
 
-def parse_advise(body: object) -> tuple[str, int, float, float, int]:
-    """``POST /advise`` -> (platform, seed, comp_bytes, comm_bytes, top)."""
+def parse_advise(
+    body: object,
+) -> tuple[str, int, float, float, int, str | None]:
+    """``POST /advise``
+    -> (platform, seed, comp_bytes, comm_bytes, top, backend)."""
     body = _require_mapping(body)
     platform, seed = _platform_and_seed(body)
     comp_bytes = _as_number(_get(body, "comp_bytes"), "comp_bytes")
     comm_bytes = _as_number(_get(body, "comm_bytes"), "comm_bytes")
     top = _as_int(_get(body, "top", default=5), "top")
-    return platform, seed, comp_bytes, comm_bytes, top
+    return platform, seed, comp_bytes, comm_bytes, top, _backend(body)

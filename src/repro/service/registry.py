@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from typing import TYPE_CHECKING, Mapping
+
 from repro.bench.config import SweepConfig
 from repro.core.compiled import CompiledModel
 from repro.core.placement import PlacementModel
@@ -32,6 +34,10 @@ from repro.errors import ServiceError
 from repro.obs import span
 from repro.service.metrics import ServiceMetrics
 from repro.topology.platforms import Platform, get_platform, platform_names
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import CalibratedBackend
+    from repro.backends.tournament import TournamentRouter
 
 __all__ = ["ModelKey", "ModelEntry", "ModelRegistry"]
 
@@ -54,6 +60,12 @@ class ModelEntry:
     one exists; the hot paths (batcher, bulk predict, grid) serve from
     its dense tables and fall back to ``model`` when it is ``None``
     (e.g. entries produced by a custom test calibrator).
+
+    ``backends`` holds every registered model backend calibrated for
+    this platform (``backend=`` request selection) and ``tournament``
+    the per-regime winner router (``backend=tournament``); both are
+    ``None`` for entries built by custom calibrators, in which case
+    backend selection answers a structured 400.
     """
 
     key: ModelKey
@@ -61,6 +73,8 @@ class ModelEntry:
     model: PlacementModel
     error_average_pct: float = field(default=float("nan"))
     compiled: CompiledModel | None = field(default=None)
+    backends: "Mapping[str, CalibratedBackend] | None" = field(default=None)
+    tournament: "TournamentRouter | None" = field(default=None)
 
 
 def _default_calibrator(
@@ -76,6 +90,10 @@ def _default_calibrator(
     recompiles and a fleet of workers shares one compiled file.
     """
     # Imported lazily: evaluation pulls the whole bench stack.
+    from repro.backends.tournament import (
+        TournamentRouter,
+        run_platform_tournament,
+    )
     from repro.core.compiled import load_or_compile
     from repro.evaluation.experiments import run_platform_experiment
     from repro.pipeline.fingerprint import config_fingerprint
@@ -93,12 +111,22 @@ def _default_calibrator(
         result.model,
         error_average_pct=result.errors.average,
     )
+    # Every registered backend, calibrated through the same store (a
+    # warm worker loads them; a cold one publishes for the fleet), and
+    # the per-regime tournament router on top.
+    tournament_run = run_platform_tournament(
+        result, config=config, store=store
+    )
     return ModelEntry(
         key=key,
         platform=result.platform,
         model=result.model,
         error_average_pct=result.errors.average,
         compiled=compiled,
+        backends=tournament_run.calibrated,
+        tournament=TournamentRouter(
+            tournament_run.tournament, tournament_run.calibrated
+        ),
     )
 
 

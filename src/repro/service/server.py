@@ -298,9 +298,84 @@ class ContentionService:
             "nodes_per_socket": entry.model.nodes_per_socket,
         }
 
+    def _backend_model(self, entry: ModelEntry, backend: str):
+        """Resolve a ``backend=`` selector against one registry entry.
+
+        ``tournament`` answers with the per-regime winner router; any
+        other name must be a backend calibrated for the entry.  Entries
+        built by custom calibrators carry no backends and answer a
+        structured 400.
+        """
+        if entry.backends is None or entry.tournament is None:
+            raise ServiceError(
+                f"backend selection is not available for platform "
+                f"{entry.key.platform!r} (entry has no calibrated backends)"
+            )
+        if backend == "tournament":
+            return entry.tournament
+        try:
+            return entry.backends[backend]
+        except KeyError:
+            known = ", ".join([*entry.backends, "tournament"])
+            raise ServiceError(
+                f"unknown backend {backend!r}; available: {known}"
+            ) from None
+
+    def _observe_backend_queries(
+        self,
+        entry: ModelEntry,
+        backend: str,
+        n_queries: int,
+        routes_before: dict | None,
+    ) -> None:
+        """Count served queries per backend; tournament queries also
+        count per routed winner (``tournament:<winner>``)."""
+        self.metrics.observe_backend(backend, n_queries)
+        if routes_before is not None and entry.tournament is not None:
+            for winner, count in entry.tournament.route_counts.items():
+                delta = count - routes_before.get(winner, 0)
+                if delta > 0:
+                    self.metrics.observe_backend(
+                        f"tournament:{winner}", delta
+                    )
+
     async def _handle_predict(self, body: object) -> dict:
-        platform, seed, queries, is_bulk = protocol.parse_predict(body)
+        platform, seed, queries, is_bulk, backend = protocol.parse_predict(
+            body
+        )
         entry = await self.registry.get(platform, seed)
+        if backend is not None and backend != "threshold":
+            model = self._backend_model(entry, backend)
+            routes_before = (
+                dict(entry.tournament.route_counts)
+                if backend == "tournament" and entry.tournament is not None
+                else None
+            )
+            with span(
+                "service.batch",
+                platform=platform,
+                size=len(queries),
+                backend=backend,
+            ):
+                results = model.predict_batch(
+                    [q.as_tuple() for q in queries]
+                )
+            self._observe_backend_queries(
+                entry, backend, len(queries), routes_before
+            )
+            if is_bulk:
+                return {
+                    "platform": platform,
+                    "seed": seed,
+                    "backend": backend,
+                    "results": [r.to_dict() for r in results],
+                }
+            out = results[0].to_dict()
+            out.update(
+                {"platform": platform, "seed": seed, "backend": backend}
+            )
+            return out
+        self.metrics.observe_backend("threshold", len(queries))
         if is_bulk and entry.compiled is not None:
             # A bulk request is already a batch: skip the batcher and
             # serialize straight from the compiled kernel's columnar
@@ -395,15 +470,31 @@ class ContentionService:
         }
 
     async def _handle_advise(self, body: object) -> dict:
-        platform, seed, comp_bytes, comm_bytes, top = protocol.parse_advise(
-            body
+        platform, seed, comp_bytes, comm_bytes, top, backend = (
+            protocol.parse_advise(body)
         )
         entry = await self.registry.get(platform, seed)
-        advisor = Advisor(entry.model, entry.platform.machine)
+        if backend is not None and backend != "threshold":
+            model = self._backend_model(entry, backend)
+            routes_before = (
+                dict(entry.tournament.route_counts)
+                if backend == "tournament" and entry.tournament is not None
+                else None
+            )
+        else:
+            model = entry.model
+            routes_before = None
+        advisor = Advisor(model, entry.platform.machine)
         workload = Workload(comp_bytes=comp_bytes, comm_bytes=comm_bytes)
         recommendations = advisor.recommend(workload, top=top)
-        return {
+        self._observe_backend_queries(
+            entry, backend or "threshold", 1, routes_before
+        )
+        payload = {
             "platform": platform,
             "seed": seed,
             "recommendations": [r.to_dict() for r in recommendations],
         }
+        if backend is not None:
+            payload["backend"] = backend
+        return payload

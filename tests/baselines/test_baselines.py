@@ -101,3 +101,45 @@ class TestPaperModelBeatsBaselines:
         paper_pred = henri_experiment.predictions[(0, 0)]
         paper_err = mape(curves.comm_parallel, paper_pred.comm_parallel)
         assert paper_err < baseline_err
+
+
+class TestDegenerateCalibration:
+    """A degenerate curve must be reported naming the platform and
+    placement it came from, not as a bare BaselineInputs complaint."""
+
+    @staticmethod
+    def _curves(comm_alone_gbps: float) -> "ModeCurves":
+        import numpy as np
+
+        from repro.bench.results import ModeCurves
+
+        ns = np.array([1, 2, 4])
+        return ModeCurves(
+            core_counts=ns,
+            comp_alone=ns * 6.0,
+            comm_alone=np.full(3, comm_alone_gbps),
+            comp_parallel=ns * 5.0,
+            comm_parallel=np.full(3, 8.0),
+        )
+
+    def test_error_names_platform_placement_and_parameter(self):
+        with pytest.raises(ModelError) as err:
+            calibrate_baseline(
+                self._curves(0.0), platform="henri", placement=(0, 1)
+            )
+        message = str(err.value)
+        assert "'henri'" in message
+        assert "(0, 1)" in message
+        assert "b_comm_seq" in message
+        # The offending sweep is described well enough to find it.
+        assert "[1, 2, 4]" in message
+
+    def test_error_without_provenance_still_diagnoses(self):
+        with pytest.raises(ModelError, match="platform \\?"):
+            calibrate_baseline(self._curves(0.0))
+
+    def test_healthy_curves_still_calibrate(self):
+        inputs = calibrate_baseline(
+            self._curves(9.0), platform="henri", placement=(0, 1)
+        )
+        assert inputs.b_comm_seq == pytest.approx(9.0)

@@ -1,9 +1,66 @@
 """Structural comparison against the published Table II."""
 
+import math
+
 import pytest
 
 from repro.errors import ReproError
 from repro.evaluation.compare import compare_to_paper, render_comparison
+from repro.evaluation.metrics import ErrorBreakdown
+
+#: The six testbed platforms in the paper's difficulty order
+#: (Table II average ascending).
+PLATFORMS = ["occigen", "diablo", "henri", "dahu", "henri-subnuma", "pyxis"]
+
+
+class _StubResult:
+    """The only surface compare_to_paper touches: ``.errors``."""
+
+    def __init__(self, errors: ErrorBreakdown) -> None:
+        self.errors = errors
+
+
+def _stub_results(
+    averages: dict[str, float],
+    *,
+    comm_samples: float = 1.0,
+    comm_non_samples: float = 2.0,
+    pyxis_non_samples: float = 12.0,
+) -> dict[str, _StubResult]:
+    """Six stub experiment results with controlled error averages.
+
+    ``comm_all == comp_all == averages[name]`` keeps each platform's
+    Table II average exactly at the requested value (the average column
+    is their mean).
+    """
+    results = {}
+    for name in PLATFORMS:
+        value = averages[name]
+        results[name] = _StubResult(
+            ErrorBreakdown(
+                platform_name=name,
+                comm_samples=comm_samples,
+                comm_non_samples=(
+                    pyxis_non_samples if name == "pyxis" else comm_non_samples
+                ),
+                comm_all=value,
+                comp_samples=comm_samples,
+                comp_non_samples=comm_non_samples,
+                comp_all=value,
+            )
+        )
+    return results
+
+
+def _paper_order_averages() -> dict[str, float]:
+    """Averages ranking the platforms exactly as the paper does."""
+    return {name: 0.5 + 0.5 * i for i, name in enumerate(PLATFORMS)}
+
+
+def _claim(checks, fragment: str):
+    matches = [c for c in checks if fragment in c.claim]
+    assert len(matches) == 1, f"claim {fragment!r} matched {len(matches)}"
+    return matches[0]
 
 
 class TestCompare:
@@ -24,3 +81,100 @@ class TestCompare:
         assert "7/7 structural claims hold" in text
         assert "Spearman" in text
         assert "[PASS]" in text and "[FAIL]" not in text
+
+    def test_extra_platform_rejected(self, all_experiments, henri_experiment):
+        superset = dict(all_experiments)
+        superset["atlantis"] = henri_experiment
+        with pytest.raises(ReproError, match="all platforms"):
+            compare_to_paper(superset)
+
+    def test_missing_single_platform_named(self, all_experiments):
+        partial = {k: v for k, v in all_experiments.items() if k != "pyxis"}
+        with pytest.raises(ReproError) as err:
+            compare_to_paper(partial)
+        # The message lists what was expected and what arrived, so a
+        # truncated run is diagnosable from the error alone.
+        assert "pyxis" in str(err.value)
+
+
+class TestCompareEdgeCases:
+    """Stubbed error rows: NaN propagation and claim boundary values."""
+
+    def test_nan_error_averages_fail_without_crashing(self):
+        averages = _paper_order_averages()
+        averages["henri"] = float("nan")
+        checks = compare_to_paper(_stub_results(averages))
+        assert len(checks) == 7
+        overall = _claim(checks, "lower than 4 %")
+        # NaN poisons the mean: the claim must fail, not blow up, and
+        # the rendered detail must show the NaN.
+        assert not overall.holds
+        assert "nan" in overall.detail
+        assert not _claim(checks, "better predicted").holds
+        text = render_comparison(_stub_results(averages))
+        assert "[FAIL]" in text
+
+    def test_overall_exactly_four_percent_fails(self):
+        # The abstract's bound is strict: a 4.00 % reproduction does
+        # not satisfy "lower than 4 %".
+        checks = compare_to_paper(
+            _stub_results({name: 4.0 for name in PLATFORMS})
+        )
+        assert not _claim(checks, "lower than 4 %").holds
+
+    def test_overall_just_under_four_percent_holds(self):
+        averages = {name: 3.99 for name in PLATFORMS}
+        checks = compare_to_paper(_stub_results(averages))
+        assert _claim(checks, "lower than 4 %").holds
+
+    def test_pyxis_double_digit_boundary(self):
+        averages = _paper_order_averages()
+        at_boundary = compare_to_paper(
+            _stub_results(averages, pyxis_non_samples=10.0)
+        )
+        # "double-digit" is inclusive: exactly 10 % qualifies.
+        assert _claim(at_boundary, "double-digit").holds
+        below = compare_to_paper(
+            _stub_results(averages, pyxis_non_samples=9.99)
+        )
+        assert not _claim(below, "double-digit").holds
+
+    def test_spearman_threshold(self):
+        # Permutation distances are even, so 0.7 itself is unreachable
+        # with six platforms; probe the nearest values on either side.
+        # d² = 10 -> rho = 1 - 60/210 ≈ 0.714: holds.
+        order_d10 = [
+            "henri", "diablo", "occigen", "henri-subnuma", "dahu", "pyxis",
+        ]
+        averages = {name: 1.0 + i for i, name in enumerate(order_d10)}
+        checks = compare_to_paper(_stub_results(averages))
+        ordering = _claim(checks, "ordering matches")
+        assert ordering.holds
+        assert "0.71" in ordering.detail
+        # d² = 14 -> rho = 1 - 84/210 = 0.6: fails.
+        order_d14 = [
+            "henri", "diablo", "occigen", "henri-subnuma", "pyxis", "dahu",
+        ]
+        averages = {name: 1.0 + i for i, name in enumerate(order_d14)}
+        checks = compare_to_paper(_stub_results(averages))
+        assert not _claim(checks, "ordering matches").holds
+
+    def test_perfect_paper_order_is_rank_one(self):
+        checks = compare_to_paper(_stub_results(_paper_order_averages()))
+        ordering = _claim(checks, "ordering matches")
+        assert ordering.holds
+        assert "1.00" in ordering.detail
+        assert _claim(checks, "occigen").holds
+        assert _claim(checks, "least accurate").holds
+
+    def test_render_counts_failures(self):
+        averages = {name: 4.0 for name in PLATFORMS}
+        text = render_comparison(
+            _stub_results(averages, pyxis_non_samples=9.0)
+        )
+        passed, total = map(
+            int, text.splitlines()[-1].split()[0].split("/")
+        )
+        assert total == 7
+        assert passed < 7
+        assert math.isfinite(passed)

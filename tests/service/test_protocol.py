@@ -44,14 +44,14 @@ class TestStatusMapping:
 
 class TestParsePredict:
     def test_inline_query(self):
-        platform, seed, queries, bulk = protocol.parse_predict(
+        platform, seed, queries, bulk, backend = protocol.parse_predict(
             {"platform": "henri", "n": 4, "m_comp": 0, "m_comm": 1}
         )
-        assert (platform, seed, bulk) == ("henri", 0, False)
+        assert (platform, seed, bulk, backend) == ("henri", 0, False, None)
         assert queries[0].as_tuple() == (4, 0, 1)
 
     def test_bulk_queries(self):
-        platform, seed, queries, bulk = protocol.parse_predict(
+        platform, seed, queries, bulk, backend = protocol.parse_predict(
             {
                 "platform": "henri",
                 "seed": 3,
@@ -61,8 +61,33 @@ class TestParsePredict:
                 ],
             }
         )
-        assert (platform, seed, bulk) == ("henri", 3, True)
+        assert (platform, seed, bulk, backend) == ("henri", 3, True, None)
         assert [q.as_tuple() for q in queries] == [(4, 0, 0), (8, 1, 0)]
+
+    def test_backend_selector(self):
+        *_, backend = protocol.parse_predict(
+            {
+                "platform": "henri",
+                "n": 4,
+                "m_comp": 0,
+                "m_comm": 1,
+                "backend": "tournament",
+            }
+        )
+        assert backend == "tournament"
+
+    @pytest.mark.parametrize("bad", [7, "", ["overlap"]])
+    def test_backend_must_be_nonempty_string(self, bad):
+        with pytest.raises(ServiceError, match="backend"):
+            protocol.parse_predict(
+                {
+                    "platform": "henri",
+                    "n": 4,
+                    "m_comp": 0,
+                    "m_comm": 1,
+                    "backend": bad,
+                }
+            )
 
     def test_mixed_forms_rejected(self):
         with pytest.raises(ServiceError, match="not both"):
@@ -89,7 +114,7 @@ class TestParsePredict:
             protocol.parse_predict(body)
 
     def test_integral_float_accepted(self):
-        _, _, queries, _ = protocol.parse_predict(
+        _, _, queries, _, _ = protocol.parse_predict(
             {"platform": "henri", "n": 4.0, "m_comp": 0, "m_comm": 0}
         )
         assert queries[0].n == 4
@@ -136,7 +161,18 @@ class TestParseOthers:
                 "top": 3,
             }
         )
-        assert parsed == ("dahu", 0, 1e9, 2e8, 3)
+        assert parsed == ("dahu", 0, 1e9, 2e8, 3, None)
+
+    def test_advise_backend(self):
+        parsed = protocol.parse_advise(
+            {
+                "platform": "dahu",
+                "comp_bytes": 1e9,
+                "comm_bytes": 2e8,
+                "backend": "overlap-afzal",
+            }
+        )
+        assert parsed == ("dahu", 0, 1e9, 2e8, 5, "overlap-afzal")
 
     def test_advise_requires_numbers(self):
         with pytest.raises(ServiceError, match="number"):

@@ -488,3 +488,104 @@ class TestClusterParsing:
         )
         assert code == EXIT_CODES[errors.ServiceError] == 11
         assert "cannot reach service" in capsys.readouterr().err
+
+
+class TestTournamentCommand:
+    def test_run_then_report_from_the_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["tournament", "run", "henri", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "winner" in first and "regimes; wins:" in first
+        assert "threshold" in first
+        # Second run: every calibration and winner table is a hit.
+        assert main(["tournament", "run", "henri", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "6/6 calibrations and 1/1 winner tables" in second
+        # Report renders from artifacts without recomputing.
+        assert main(
+            ["tournament", "report", "henri", "--cache-dir", cache]
+        ) == 0
+        report = capsys.readouterr().out
+        assert "regimes; wins:" in report
+
+    def test_report_without_store_exits_12(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(["tournament", "report", "henri"])
+        assert code == EXIT_CODES[errors.PipelineError] == 12
+        assert "stored artifacts" in capsys.readouterr().err
+
+    def test_report_uncontested_platform_noted(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["tournament", "run", "henri", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(
+            ["tournament", "report", "henri", "occigen", "--cache-dir", cache]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "not yet contested: occigen" in out
+
+
+class TestPredictBackendFlag:
+    def test_named_backend_noted(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(
+            [
+                "predict", "occigen", "-n", "8", "--comp", "0", "--comm", "1",
+                "--backend", "naive",
+            ]
+        ) == 0
+        assert "[backend naive]" in capsys.readouterr().out
+
+    def test_tournament_backend_names_the_winner(self, tmp_path, capsys):
+        assert main(
+            [
+                "predict", "occigen", "-n", "8", "--comp", "0", "--comm", "1",
+                "--backend", "tournament",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        assert "[backend tournament -> " in capsys.readouterr().out
+
+    def test_unknown_backend_exits_6(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(
+            [
+                "predict", "occigen", "-n", "8", "--comp", "0", "--comm", "1",
+                "--backend", "resnet",
+            ]
+        )
+        assert code == EXIT_CODES[errors.ModelError] == 6
+        assert "registered" in capsys.readouterr().err
+
+
+class TestPrefetchArtifacts:
+    def test_warms_published_entries_and_skips_missing(self, tmp_path):
+        from repro.backends import backend_key, load_or_calibrate
+        from repro.backends.threshold import ThresholdBackend
+        from repro.cli import _prefetch_artifacts
+        from repro.evaluation.experiments import run_platform_experiment
+        from repro.pipeline import ArtifactStore
+
+        cache = tmp_path / "cache"
+        store = ArtifactStore(cache)
+        result = run_platform_experiment("occigen", store=store)
+        backend = ThresholdBackend()
+        load_or_calibrate(
+            store, backend, result.dataset, result.platform, "fp"
+        )
+        published = backend_key("occigen", backend, "fp").entry_id
+        warmed = _prefetch_artifacts(
+            cache, [published, "occigen/backend-naive-v1-unpublished"]
+        )
+        assert warmed == 1
+
+    def test_no_hints_is_a_noop(self):
+        from repro.cli import _prefetch_artifacts
+
+        assert _prefetch_artifacts(None, []) == 0
+
+    def test_hints_without_store_rejected(self):
+        from repro.cli import _prefetch_artifacts
+
+        with pytest.raises(errors.ServiceError, match="artifact store"):
+            _prefetch_artifacts(None, ["occigen/backend-naive-v1-x"])
