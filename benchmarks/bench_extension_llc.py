@@ -2,8 +2,11 @@
 
 The paper bypasses the LLC to isolate true memory traffic (§II-C) and
 defers cache modelling to future work (§VI).  This benchmark runs the
-deferred experiment: a *temporal* copy kernel with a growing per-thread
-working set, overlapped with communications on the same NUMA node.
+deferred experiment on the simulator's first-class LLC resource: a
+*temporal* tenant with a growing per-core working set shares the
+machine with a communication-bound tenant on the same NUMA node, and
+the arbiter's LLC capacity pass decides how much of the computation
+traffic actually reaches DRAM.
 
 Expected shape: while the working set fits in the LLC, almost no DRAM
 traffic is produced and the NIC keeps its nominal bandwidth; as the
@@ -11,54 +14,104 @@ working set outgrows the cache, the contention of the paper's
 benchmark re-emerges and converges to the non-temporal behaviour.
 """
 
-import dataclasses
-
 import numpy as np
 
-from repro.kernels import CacheModel, copy_kernel
-from repro.memsim import Scenario, solve_scenario
+from _common import timed
+from repro.memsim import Tenant, TenantScenario, solve_tenant_scenario
 from repro.topology import get_platform
 from repro.units import MiB
+
+#: NUMA node holding both the computation and communication data.
+_NODE = 0
+
+
+def _solve(platform, working_set_bytes):
+    """Victim comm bandwidth + app bandwidths for one working set.
+
+    ``working_set_bytes=None`` runs the paper's non-temporal baseline
+    (stores bypass the cache entirely).
+    """
+    n = platform.cores_per_socket
+    scenario = TenantScenario(
+        (
+            Tenant(
+                name="app",
+                n_cores=n,
+                m_comp=_NODE,
+                working_set_bytes=working_set_bytes,
+            ),
+            Tenant(name="victim", m_comm=_NODE),
+        )
+    )
+    result = solve_tenant_scenario(platform.machine, platform.profile, scenario)
+    return result.tenant("app"), result.tenant("victim")
 
 
 def run_working_set_sweep():
     platform = get_platform("henri")
     n = platform.cores_per_socket
-    cache = CacheModel(machine=platform.machine, n_threads=n)
-    kernel = dataclasses.replace(copy_kernel(), non_temporal=False)
+    llc = max(platform.machine.sockets[0].caches, key=lambda c: c.level)
+    share = llc.size_bytes // n
 
-    working_sets = [
-        cache.llc_share_bytes // 4,
-        cache.llc_share_bytes,
-        4 * cache.llc_share_bytes,
-        16 * cache.llc_share_bytes,
-        256 * MiB,
-    ]
+    working_sets = [share // 4, share, 4 * share, 16 * share, 256 * MiB]
     points = []
     for ws in working_sets:
-        demand = cache.effective_demand_gbps(
-            kernel,
-            working_set_bytes=ws,
-            stream_gbps=platform.profile.core_stream_local_gbps,
-        )
-        result = solve_scenario(
-            platform.machine,
-            platform.profile,
-            Scenario(n, 0, 0, comp_demand_gbps=demand, comp_issue_gbps=demand),
-        )
-        points.append((ws, demand, result.comm_gbps))
-    baseline = solve_scenario(
-        platform.machine, platform.profile, Scenario(n, 0, 0)
+        app, victim = _solve(platform, ws)
+        points.append((ws, app.comp_dram_gbps, app.comp_gbps, victim.comm_gbps))
+    _, nt_victim = _solve(platform, None)
+    return points, nt_victim.comm_gbps
+
+
+def collect(recorder, benchmark=None) -> None:
+    """Perf-trajectory hook: the working-set sweep, timed and pinned.
+
+    The sweep itself is deterministic (a noiseless arbiter solve), so
+    the bandwidth metrics carry tight bands; only the wall time gets a
+    wide one (shared-runner noise).
+    """
+    holder: dict = {}
+    duration_s = timed(
+        lambda: holder.setdefault("result", run_working_set_sweep())
     )
-    return points, baseline.comm_gbps
+    points, nt_comm = holder["result"]
+    recorder.metric(
+        "sweep_wall_ms", duration_s * 1e3, unit="ms", direction="lower",
+        band=2.5,
+    )
+    recorder.metric(
+        "comm_cache_resident_gbps", points[0][3], unit="GB/s",
+        direction="higher", band=0.01,
+    )
+    recorder.metric(
+        "comm_overflow_gbps", points[-1][3], unit="GB/s",
+        direction="higher", band=0.01,
+    )
+    recorder.metric(
+        "comm_nt_baseline_gbps", nt_comm, unit="GB/s", direction="higher",
+        band=0.01,
+    )
+    recorder.metric(
+        "dram_cache_resident_gbps", points[0][1], unit="GB/s",
+        direction="lower", band=0.01,
+    )
+    recorder.metric(
+        "comp_processed_resident_gbps", points[0][2], unit="GB/s",
+        direction="higher", band=0.01,
+    )
+    platform = get_platform("henri")
+    recorder.context(
+        platform="henri",
+        n_cores=platform.cores_per_socket,
+        working_sets_mib=[round(p[0] / MiB, 3) for p in points],
+    )
 
 
 def test_extension_llc_working_set(benchmark):
     points, nt_comm = benchmark.pedantic(
         run_working_set_sweep, rounds=1, iterations=1
     )
-    comm = np.array([p[2] for p in points])
-    demands = np.array([p[1] for p in points])
+    comm = np.array([p[3] for p in points])
+    dram = np.array([p[1] for p in points])
 
     # Cache-resident working set: no DRAM pressure, NIC at nominal.
     assert comm[0] > 0.97 * 12.3
@@ -66,10 +119,15 @@ def test_extension_llc_working_set(benchmark):
     assert comm[-1] < 0.6 * 12.3
     # Convergence to the non-temporal (bypass) behaviour.
     np.testing.assert_allclose(comm[-1], nt_comm, rtol=0.05)
-    # Monotone: more DRAM traffic, less network bandwidth.
+    # Monotone: a growing working set never *recovers* network bandwidth.
     assert np.all(np.diff(comm) <= 1e-9)
-    assert np.all(np.diff(demands) >= -1e-9)
+    # Cache-resident points draw almost no DRAM bandwidth; overflowing
+    # ones draw the bulk of the socket (the arbitrated DRAM rate is not
+    # strictly monotone past the knee — contention feedback nibbles at
+    # it — so the assertion is resident-vs-overflow, not pointwise).
+    assert dram[0] < 0.05 * dram[-1] and dram[1] < 0.05 * dram[-1]
+    assert dram[1] < dram[2]
 
     benchmark.extra_info["comm_gbps_by_working_set"] = {
-        f"{ws // MiB} MiB": round(float(c), 2) for ws, _, c in points
+        f"{ws // MiB} MiB": round(float(c), 2) for ws, _, _, c in points
     }

@@ -8,11 +8,19 @@ how many computing cores should be used to avoid memory contention"
 
 from repro.advisor.overlap import OverlapEstimate, estimate_overlap
 from repro.advisor.recommend import Advisor, Recommendation, Workload
+from repro.advisor.victim import (
+    VictimPlacement,
+    advise_victim_placement,
+    stressor_roster,
+)
 
 __all__ = [
     "Advisor",
     "OverlapEstimate",
     "Recommendation",
+    "VictimPlacement",
     "Workload",
+    "advise_victim_placement",
     "estimate_overlap",
+    "stressor_roster",
 ]

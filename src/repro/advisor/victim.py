@@ -1,0 +1,211 @@
+"""Victim placement: where to land communication data among noisy neighbours.
+
+The workload advisor (:mod:`repro.advisor.recommend`) assumes the job
+owns the machine.  On a shared node it does not: co-located tenants
+hammer the memory buses, thrash the LLC, or flood the NIC.  This module
+answers the defensive question — *for a communication-bound job, which
+NUMA node should receive its messages so that the worst co-tenant hurts
+it least?*
+
+Every candidate placement is stress-tested against a roster of
+adversarial tenants (:func:`stressor_roster`) on the multi-tenant
+scheduler, and placements are ranked by their **worst-case** bandwidth
+degradation — a minimax over stressors, not an average, because the
+victim does not get to choose its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import logging
+
+from repro.errors import AdvisorError
+from repro.memsim.arbiter import Arbiter
+from repro.memsim.paths import build_resources
+from repro.memsim.profile import ContentionProfile
+from repro.memsim.scenario import (
+    Tenant,
+    TenantScenario,
+    solve_tenant_scenario,
+)
+from repro.topology.objects import Machine
+
+__all__ = ["VictimPlacement", "stressor_roster", "advise_victim_placement"]
+
+log = logging.getLogger("repro.advisor")
+
+#: Reserved name of the tenant under test.
+VICTIM_NAME = "victim"
+
+#: The LLC-thrash stressor's working set, as a multiple of each core's
+#: fair cache share: 2x guarantees the working set spills, so the
+#: stressor turns cache pressure into DRAM pressure.
+_THRASH_OVERSHOOT = 2.0
+
+
+@dataclass(frozen=True)
+class VictimPlacement:
+    """One candidate communication-data node, stress-tested."""
+
+    m_comm: int
+    #: Victim communication bandwidth with no co-tenant (GB/s).
+    baseline_gbps: float
+    #: Victim bandwidth under its most damaging stressor (GB/s).
+    worst_gbps: float
+    #: Name of that stressor.
+    worst_stressor: str
+    #: Victim bandwidth under each stressor (GB/s).
+    per_stressor_gbps: Mapping[str, float]
+
+    @property
+    def degradation(self) -> float:
+        """Worst-case fractional loss: ``1 - worst / baseline``."""
+        return 1.0 - self.worst_gbps / self.baseline_gbps
+
+    def describe(self) -> str:
+        return (
+            f"comm data on node {self.m_comm}: worst case "
+            f"{self.worst_gbps:.1f}/{self.baseline_gbps:.1f} GB/s "
+            f"(-{self.degradation * 100.0:.0f}% under {self.worst_stressor})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (used by the prediction service)."""
+        return {
+            "m_comm": self.m_comm,
+            "baseline_gbps": self.baseline_gbps,
+            "worst_gbps": self.worst_gbps,
+            "worst_stressor": self.worst_stressor,
+            "degradation": self.degradation,
+            "per_stressor_gbps": dict(self.per_stressor_gbps),
+        }
+
+
+def _stressor_socket(machine: Machine) -> int:
+    """Socket the stressors compute on.
+
+    On multi-socket machines the noisy neighbour gets its own socket
+    (the usual co-scheduling split); single-socket machines share
+    socket 0 with the victim — which costs nothing here because the
+    victim under test runs no computing cores.
+    """
+    return 1 if machine.n_sockets > 1 else 0
+
+
+def stressor_roster(
+    machine: Machine, profile: ContentionProfile
+) -> tuple[Tenant, ...]:
+    """Adversarial co-tenants a victim placement is tested against.
+
+    * ``bus@<node>`` — non-temporal memset on every core of the
+      stressor socket, writing to node ``<node>`` (one stressor per
+      NUMA node: bus pressure follows the data);
+    * ``llc-thrash`` — a temporal kernel whose per-core working set is
+      :data:`_THRASH_OVERSHOOT` times its fair LLC share, so it evicts
+      aggressively *and* spills to DRAM (skipped when the machine
+      declares no caches);
+    * ``nic-flood`` — a bidirectional communication tenant saturating
+      both directions of the (shared, single) NIC.
+    """
+    socket_idx = _stressor_socket(machine)
+    n_cores = machine.cores_per_socket
+    roster: list[Tenant] = [
+        Tenant(
+            name=f"bus@{node.index}",
+            n_cores=n_cores,
+            m_comp=node.index,
+            socket=socket_idx,
+        )
+        for node in machine.iter_numa_nodes()
+    ]
+    caches = machine.sockets[socket_idx].caches
+    llc = max((c for c in caches), key=lambda c: c.level, default=None)
+    if llc is not None:
+        local_node = machine.sockets[socket_idx].numa_nodes[0].index
+        per_core = max(1, int(_THRASH_OVERSHOOT * llc.size_bytes / n_cores))
+        roster.append(
+            Tenant(
+                name="llc-thrash",
+                n_cores=n_cores,
+                m_comp=local_node,
+                socket=socket_idx,
+                working_set_bytes=per_core,
+            )
+        )
+    nic_node = machine.sockets[machine.nic.socket].numa_nodes[0].index
+    roster.append(
+        Tenant(name="nic-flood", m_comm=nic_node, bidirectional=True)
+    )
+    return tuple(roster)
+
+
+def advise_victim_placement(
+    machine: Machine,
+    profile: ContentionProfile,
+    *,
+    top: int | None = None,
+    roster: Sequence[Tenant] | None = None,
+) -> list[VictimPlacement]:
+    """Rank communication-data placements by worst-case interference.
+
+    Returns placements sorted by smallest worst-case degradation
+    (ties broken toward higher worst-case bandwidth, then lower node
+    index).  ``roster`` overrides the default stressor set.
+    """
+    if top is not None and top < 1:
+        raise AdvisorError(f"top must be >= 1, got {top}")
+    stressors = tuple(roster) if roster is not None else stressor_roster(
+        machine, profile
+    )
+    if not stressors:
+        raise AdvisorError("stressor roster must be non-empty")
+    for s in stressors:
+        if s.name == VICTIM_NAME:
+            raise AdvisorError(
+                f"stressor name {VICTIM_NAME!r} is reserved for the "
+                "tenant under test"
+            )
+
+    resource_map = build_resources(machine, profile)
+    arbiter = Arbiter(resource_map, profile)
+
+    placements: list[VictimPlacement] = []
+    for node in machine.iter_numa_nodes():
+        victim = Tenant(name=VICTIM_NAME, m_comm=node.index)
+        baseline = solve_tenant_scenario(
+            machine, profile, TenantScenario((victim,)), arbiter=arbiter
+        ).tenant(VICTIM_NAME).comm_gbps
+        if baseline <= 0.0:
+            raise AdvisorError(
+                f"victim gets zero communication bandwidth alone on node "
+                f"{node.index}; the placement cannot be scored"
+            )
+        under: dict[str, float] = {}
+        for stressor in stressors:
+            result = solve_tenant_scenario(
+                machine,
+                profile,
+                TenantScenario((victim, stressor)),
+                arbiter=arbiter,
+            )
+            under[stressor.name] = result.tenant(VICTIM_NAME).comm_gbps
+        worst_stressor = min(under, key=lambda name: under[name])
+        placements.append(
+            VictimPlacement(
+                m_comm=node.index,
+                baseline_gbps=baseline,
+                worst_gbps=under[worst_stressor],
+                worst_stressor=worst_stressor,
+                per_stressor_gbps=under,
+            )
+        )
+    placements.sort(key=lambda p: (p.degradation, -p.worst_gbps, p.m_comm))
+    log.info(
+        "victim advisor on %s: best node %d (%s)",
+        machine.name,
+        placements[0].m_comm,
+        placements[0].describe(),
+    )
+    return placements[:top] if top is not None else placements

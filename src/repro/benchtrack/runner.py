@@ -105,6 +105,12 @@ AREAS: dict[str, AreaSpec] = {
         # No store counters: the figure pipeline runs uncached
         # (cache_dir=None), so no store.* counters ever fire.
     ),
+    "llc": AreaSpec(
+        name="llc",
+        module="bench_extension_llc",
+        title="LLC working-set sweep on the multi-tenant scheduler",
+        # Pure arbiter solves: no pipeline spans or store counters fire.
+    ),
 }
 
 

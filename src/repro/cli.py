@@ -23,6 +23,9 @@ Commands
     Regenerate the paper tables.
 ``advise <platform> --comp-bytes B --comm-bytes B``
     Recommend core count and placement for an overlapped workload.
+``advise <platform> --victim``
+    Rank communication-data placements by worst-case degradation
+    under noisy co-tenants (docs/TENANTS.md).
 ``overlap <platform> -n N --comp MC --comm MM --comp-bytes B --comm-bytes B``
     Estimate the overlap efficiency of one configuration.
 ``bottleneck <platform> -n N --comp MC --comm MM``
@@ -309,9 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", parents=[pipeline_opts], help="recommend cores and placement"
     )
     p_adv.add_argument("platform", choices=platform_names())
-    p_adv.add_argument("--comp-bytes", type=float, required=True)
-    p_adv.add_argument("--comm-bytes", type=float, required=True)
+    p_adv.add_argument("--comp-bytes", type=float)
+    p_adv.add_argument("--comm-bytes", type=float)
     p_adv.add_argument("--top", type=int, default=5)
+    p_adv.add_argument(
+        "--victim",
+        action="store_true",
+        help="rank communication-data placements by worst-case "
+        "degradation under noisy co-tenants instead of by workload "
+        "makespan (--comp-bytes/--comm-bytes do not apply)",
+    )
 
     p_ovl = sub.add_parser(
         "overlap", parents=[pipeline_opts], help="estimate overlap efficiency"
@@ -630,9 +640,15 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", parents=[remote], help="recommend cores and placement"
     )
     q_adv.add_argument("platform", choices=platform_names())
-    q_adv.add_argument("--comp-bytes", type=float, required=True)
-    q_adv.add_argument("--comm-bytes", type=float, required=True)
+    q_adv.add_argument("--comp-bytes", type=float)
+    q_adv.add_argument("--comm-bytes", type=float)
     q_adv.add_argument("--top", type=int, default=5)
+    q_adv.add_argument(
+        "--victim",
+        action="store_true",
+        help="rank communication-data placements by worst-case "
+        "degradation under noisy co-tenants",
+    )
     q_adv.add_argument(
         "--backend",
         default=None,
@@ -924,6 +940,29 @@ def _cmd_table2(args: argparse.Namespace) -> str:
 
 def _cmd_advise(args: argparse.Namespace) -> str:
     platform = get_platform(args.platform)
+    if args.victim:
+        if args.comp_bytes is not None or args.comm_bytes is not None:
+            raise AdvisorError(
+                "--comp-bytes/--comm-bytes do not apply to --victim "
+                "(victim mode stress-tests placements, not a workload)"
+            )
+        from repro.advisor import advise_victim_placement
+
+        placements = advise_victim_placement(
+            platform.machine, platform.profile, top=args.top
+        )
+        lines = [
+            f"Victim placements for {platform.name} "
+            "(worst case over the stressor roster):"
+        ]
+        lines += [
+            f"  {i + 1}. {p.describe()}" for i, p in enumerate(placements)
+        ]
+        return "\n".join(lines)
+    if args.comp_bytes is None or args.comm_bytes is None:
+        raise AdvisorError(
+            "advise needs --comp-bytes and --comm-bytes (or --victim)"
+        )
     result = run_platform_experiment(
         platform, config=SweepConfig(seed=args.seed), **_pipeline_kwargs(args)
     )
@@ -1477,6 +1516,33 @@ def _cmd_query(args: argparse.Namespace) -> str:
             f"{result['comp_alone']:.2f} GB/s"
         )
     if args.query_command == "advise":
+        if args.victim:
+            if args.comp_bytes is not None or args.comm_bytes is not None:
+                raise ServiceError(
+                    "--comp-bytes/--comm-bytes do not apply to --victim"
+                )
+            if args.backend is not None:
+                raise ServiceError("--backend does not apply to --victim")
+            result = client.advise(
+                args.platform, victim=True, top=args.top, seed=args.seed
+            )
+            lines = [
+                f"Victim placements for {args.platform} "
+                "(worst case over the stressor roster):"
+            ]
+            for i, p in enumerate(result["placements"]):
+                lines.append(
+                    f"  {i + 1}. comm data on node {p['m_comm']}: worst case "
+                    f"{p['worst_gbps']:.1f}/{p['baseline_gbps']:.1f} GB/s "
+                    f"(-{p['degradation'] * 100.0:.0f}% under "
+                    f"{p['worst_stressor']})"
+                )
+            return "\n".join(lines)
+        if args.comp_bytes is None or args.comm_bytes is None:
+            raise ServiceError(
+                "query advise needs --comp-bytes and --comm-bytes "
+                "(or --victim)"
+            )
         result = client.advise(
             args.platform,
             comp_bytes=args.comp_bytes,

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ServiceError
 from repro.cluster.shardmap import ShardMap
 from repro.service.client import ServiceClient
 
@@ -284,7 +284,12 @@ class Supervisor:
                 try:
                     client.healthz()
                     break
-                except Exception:
+                # Only "not up yet" failures are retried: the client
+                # wraps connection problems in ServiceError, and the
+                # socket layer can surface raw OSErrors.  Anything else
+                # (a genuine bug) propagates instead of being polled
+                # into a misleading timeout.
+                except (ServiceError, OSError):
                     if time.monotonic() > deadline:
                         raise ClusterError(
                             f"worker {handle.worker_id} did not become ready "

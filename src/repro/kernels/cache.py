@@ -23,14 +23,14 @@ from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.kernels.memops import Kernel
+from repro.memsim.llc import COMPULSORY_FLOOR, dram_factor
 from repro.topology.objects import Machine
 
 __all__ = ["CacheModel", "llc_bytes_per_thread", "dram_traffic_factor"]
 
-#: Fraction of the traffic that always reaches DRAM even for a fully
-#: cache-resident working set (compulsory misses, streaming prefetch
-#: spill) — keeps the model from predicting literally zero traffic.
-COMPULSORY_FLOOR = 0.02
+# The working-set factor math itself lives in repro.memsim.llc (the
+# arbiter applies it as a first-class resource); COMPULSORY_FLOOR is
+# re-exported here for backwards compatibility.
 
 
 def llc_bytes_per_thread(machine: Machine, n_threads: int) -> int:
@@ -70,8 +70,7 @@ def dram_traffic_factor(
         raise SimulationError("llc_share_bytes must be non-negative")
     if kernel.non_temporal:
         return 1.0
-    hit_fraction = min(1.0, llc_share_bytes / working_set_bytes)
-    return max(1.0 - hit_fraction, COMPULSORY_FLOOR)
+    return dram_factor(working_set_bytes, llc_share_bytes)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,82 @@
+"""Kernel-mix tenants: bridge from kernel definitions to the scheduler.
+
+:class:`~repro.memsim.scenario.Tenant` deliberately speaks raw GB/s so
+the memory simulator stays free of kernel imports; this module supplies
+the convenience constructor that turns a :class:`Kernel` (arithmetic
+intensity, temporal behaviour) plus a placement into a tenant:
+
+* the per-core demand/issue overrides come from the roofline model
+  (:func:`repro.kernels.intensity.demand_gbps`), exactly as the
+  single-job sweeps do (:func:`repro.kernels.sweep.kernel_scenario`);
+* temporal kernels carry their per-core working set into the tenant,
+  so the arbiter's LLC pass filters their DRAM traffic; non-temporal
+  kernels bypass the cache (the paper's §II-C setting).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.kernels.intensity import demand_gbps
+from repro.kernels.memops import Kernel
+from repro.memsim.scenario import LoadEnvelope, Tenant
+from repro.topology.platforms import Platform
+
+__all__ = ["kernel_tenant"]
+
+
+def kernel_tenant(
+    platform: Platform,
+    kernel: Kernel,
+    *,
+    name: str,
+    n_cores: int,
+    m_comp: int,
+    m_comm: int | None = None,
+    working_set_bytes: int | None = None,
+    core_gflops: float = 20.0,
+    socket: int = 0,
+    bidirectional: bool = False,
+    envelope: LoadEnvelope | None = None,
+) -> Tenant:
+    """Build a :class:`Tenant` whose per-core demand reflects ``kernel``.
+
+    ``working_set_bytes`` is each core's temporal footprint; it is
+    required for temporal kernels (the LLC filter has no basis without
+    it) and rejected for non-temporal ones (their stores bypass the
+    cache, so a working set would silently do nothing).
+    """
+    if kernel.non_temporal:
+        if working_set_bytes is not None:
+            raise SimulationError(
+                f"kernel {kernel.name!r} uses non-temporal stores; its "
+                "working set never occupies the LLC, so working_set_bytes "
+                "must be omitted"
+            )
+    elif working_set_bytes is None:
+        raise SimulationError(
+            f"kernel {kernel.name!r} is temporal; working_set_bytes is "
+            "required to model its LLC occupancy"
+        )
+    local = platform.machine.socket_of_numa(m_comp) == socket
+    demand = demand_gbps(
+        kernel,
+        core_stream_gbps=platform.profile.core_stream_gbps(local=local),
+        core_gflops=core_gflops,
+    )
+    issue = demand_gbps(
+        kernel,
+        core_stream_gbps=platform.profile.core_stream_local_gbps,
+        core_gflops=core_gflops,
+    )
+    return Tenant(
+        name=name,
+        n_cores=n_cores,
+        m_comp=m_comp,
+        m_comm=m_comm,
+        socket=socket,
+        comp_demand_gbps=demand,
+        comp_issue_gbps=issue,
+        working_set_bytes=working_set_bytes,
+        bidirectional=bidirectional,
+        envelope=envelope if envelope is not None else LoadEnvelope(),
+    )

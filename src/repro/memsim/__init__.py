@@ -38,7 +38,19 @@ from repro.memsim.noise import NoiseModel
 from repro.memsim.paths import ResourceMap, build_resources, stream_path
 from repro.memsim.profile import ContentionProfile
 from repro.memsim.resource import Resource, ResourceKind
-from repro.memsim.scenario import Scenario, solve_scenario
+from repro.memsim.scenario import (
+    LoadEnvelope,
+    LoadPhase,
+    PhaseResult,
+    Scenario,
+    Tenant,
+    TenantBandwidth,
+    TenantScenario,
+    TenantScenarioResult,
+    build_tenant_streams,
+    solve_scenario,
+    solve_tenant_scenario,
+)
 from repro.memsim.trace import (
     ResourceLoad,
     binding_resources,
@@ -54,7 +66,10 @@ __all__ = [
     "ContentionProfile",
     "Engine",
     "FlowProgress",
+    "LoadEnvelope",
+    "LoadPhase",
     "NoiseModel",
+    "PhaseResult",
     "Resource",
     "ResourceKind",
     "ResourceLoad",
@@ -62,8 +77,14 @@ __all__ = [
     "Scenario",
     "Stream",
     "StreamKind",
+    "Tenant",
+    "TenantBandwidth",
+    "TenantScenario",
+    "TenantScenarioResult",
     "build_resources",
+    "build_tenant_streams",
     "solve_scenario",
+    "solve_tenant_scenario",
     "stream_path",
     "binding_resources",
     "bottleneck_report",

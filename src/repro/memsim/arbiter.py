@@ -41,10 +41,11 @@ construction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.errors import ArbitrationError
+from repro.memsim.llc import filter_dram_demand, llc_by_socket
 from repro.memsim.paths import ResourceMap
 from repro.memsim.policies import ArbitrationPolicy, Offer
 from repro.memsim.profile import ContentionProfile
@@ -66,6 +67,11 @@ class Allocation:
     #: Solver passes used (constant 3 for the cascade; kept for
     #: diagnostics and API stability).
     iterations: int
+    #: DRAM traffic factor applied by the LLC pre-pass, keyed by stream
+    #: id — only streams that declared a working set appear.  The
+    #: stream's *processed* rate (cache hits included) is its arbitrated
+    #: DRAM rate divided by this factor.
+    llc_factors: Mapping[str, float] = field(default_factory=dict)
 
     def rate(self, stream_id: str) -> float:
         try:
@@ -90,6 +96,7 @@ class Arbiter:
     ) -> None:
         self._resources = resource_map
         self._policy = ArbitrationPolicy(profile)
+        self._llc = llc_by_socket(resource_map.resources)
 
     def solve(self, streams: Sequence[Stream]) -> Allocation:
         """Compute the steady-state rates of ``streams``."""
@@ -106,6 +113,13 @@ class Arbiter:
                     raise ArbitrationError(
                         f"stream {s.stream_id!r} references unknown resource {rid!r}"
                     )
+
+        # ---- pass 0: LLC capacity filter ------------------------------------
+        # Temporal streams compete for their socket's LLC *capacity*;
+        # only the non-resident share of their traffic presses the
+        # bandwidth resources below.  Streams without a working set —
+        # every pre-existing caller — pass through untouched.
+        streams, llc_factors = filter_dram_demand(self._llc, streams)
 
         touched: dict[str, list[Stream]] = {}
         for s in streams:
@@ -243,4 +257,5 @@ class Arbiter:
             resource_usage=usage,
             effective_capacity=capacity,
             iterations=3,
+            llc_factors=llc_factors,
         )

@@ -14,11 +14,15 @@ NIC_FMT = "nic:{socket}"
 # system (mesh, link, controller) with the receive path.
 PCIE_TX_FMT = "pcie-tx:{socket}"
 NIC_TX_FMT = "nic-tx:{socket}"
+# A socket's last-level cache: a capacity resource (bytes) that filters
+# temporal streams' DRAM demand; it never appears in stream paths.
+LLC_FMT = "llc:{socket}"
 
 __all__ = [
     "CTRL_FMT",
     "MESH_FMT",
     "LINK_FMT",
+    "LLC_FMT",
     "PCIE_FMT",
     "NIC_FMT",
     "PCIE_TX_FMT",

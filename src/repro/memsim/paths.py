@@ -41,6 +41,7 @@ __all__ = ["ResourceMap", "build_resources", "stream_path"]
 from repro.memsim.ids import (  # noqa: E402  (re-exported for callers)
     CTRL_FMT,
     LINK_FMT,
+    LLC_FMT,
     MESH_FMT,
     NIC_FMT,
     NIC_TX_FMT,
@@ -115,6 +116,22 @@ def build_resources(machine: Machine, profile: ContentionProfile) -> ResourceMap
             capacity_gbps=mesh_capacity,
             socket=socket.index,
         )
+        # The socket's last-level cache, when the machine declares one:
+        # a capacity resource that filters temporal streams' DRAM
+        # demand (repro.memsim.llc); it never carries byte traffic
+        # itself, so its bandwidth is unconstrained.
+        llc = max(
+            (c for c in socket.caches), key=lambda c: c.level, default=None
+        )
+        if llc is not None:
+            rid = LLC_FMT.format(socket=socket.index)
+            resources[rid] = Resource(
+                resource_id=rid,
+                kind=ResourceKind.LLC,
+                capacity_gbps=float("inf"),
+                socket=socket.index,
+                size_bytes=llc.size_bytes,
+            )
 
     for link in machine.links:
         for src, dst in ((link.socket_a, link.socket_b), (link.socket_b, link.socket_a)):

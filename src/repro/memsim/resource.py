@@ -30,6 +30,11 @@ class ResourceKind(enum.Enum):
     SOCKET_LINK = "socket_link"
     PCIE = "pcie"
     NIC_PORT = "nic_port"
+    #: A socket's last-level cache — a *capacity* resource (bytes, not
+    #: GB/s): it never carries byte traffic in stream paths, but
+    #: filters how much of each temporal stream's demand reaches DRAM
+    #: (:mod:`repro.memsim.llc`).
+    LLC = "llc"
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,9 @@ class Resource:
     socket:
         Owning socket for controllers/PCIe (used to classify request
         origins); ``None`` for inter-socket links.
+    size_bytes:
+        Storage capacity — only meaningful (and required) for LLC
+        resources, which ration bytes rather than bandwidth.
     """
 
     resource_id: str
@@ -59,6 +67,7 @@ class Resource:
     capacity_gbps: float
     remote_capacity_gbps: float | None = None
     socket: int | None = None
+    size_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if not self.resource_id:
@@ -66,6 +75,21 @@ class Resource:
         if self.capacity_gbps <= 0.0:
             raise SimulationError(
                 f"resource {self.resource_id!r}: capacity must be positive"
+            )
+        if self.kind is ResourceKind.LLC:
+            if self.size_bytes is None or self.size_bytes <= 0:
+                raise SimulationError(
+                    f"LLC resource {self.resource_id!r} must declare a "
+                    "positive size_bytes"
+                )
+            if self.socket is None:
+                raise SimulationError(
+                    f"LLC resource {self.resource_id!r} must declare its socket"
+                )
+        elif self.size_bytes is not None:
+            raise SimulationError(
+                f"resource {self.resource_id!r}: only LLC resources "
+                "carry a size_bytes"
             )
         if self.remote_capacity_gbps is not None:
             if self.remote_capacity_gbps <= 0.0:

@@ -11,11 +11,19 @@ compute, where computation data lives (``m_comp``), and where
 communication data lives (``m_comm``); ``None`` disables the
 corresponding activity.  :func:`solve_scenario` builds the matching
 streams and returns steady-state bandwidths from the arbiter.
+
+On top of the paper's single-job suite, the **tenant layer** composes
+several independent jobs sharing one machine: each :class:`Tenant` has
+its own kernel mix (demand/issue overrides and temporal working set),
+core count, data placement and a time-varying :class:`LoadEnvelope`;
+:func:`solve_tenant_scenario` merges them into one stream set per load
+segment and attributes the solved bandwidth back per tenant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.errors import SimulationError
@@ -25,11 +33,40 @@ from repro.memsim.profile import ContentionProfile
 from repro.memsim.stream import Stream, StreamKind
 from repro.topology.objects import Machine
 
-__all__ = ["Scenario", "ScenarioResult", "build_streams", "solve_scenario"]
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "build_streams",
+    "solve_scenario",
+    "LoadPhase",
+    "LoadEnvelope",
+    "Tenant",
+    "TenantScenario",
+    "TenantBandwidth",
+    "PhaseResult",
+    "TenantScenarioResult",
+    "build_tenant_streams",
+    "solve_tenant_scenario",
+]
 
 #: Socket the computing cores are bound to, matching the paper's
 #: benchmarks ("cores of only one socket are computing", §II-B).
 COMPUTE_SOCKET = 0
+
+
+def _check_override(name: str, value: float | None) -> None:
+    """Reject non-finite or non-positive bandwidth overrides.
+
+    ``NaN <= 0`` is false, so a plain sign check waves NaN through and
+    the solver later produces NaN rates instead of a diagnosis — the
+    override must be validated for finiteness explicitly.
+    """
+    if value is None:
+        return
+    if not math.isfinite(value) or value <= 0:
+        raise SimulationError(
+            f"{name} override must be a positive finite number, got {value!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -64,12 +101,9 @@ class Scenario:
             raise SimulationError(f"n_cores must be >= 0, got {self.n_cores}")
         if self.n_cores > 0 and self.m_comp is None:
             raise SimulationError("computing cores need a data node (m_comp)")
-        if self.comp_demand_gbps is not None and self.comp_demand_gbps <= 0:
-            raise SimulationError("comp_demand_gbps override must be positive")
-        if self.comp_issue_gbps is not None and self.comp_issue_gbps <= 0:
-            raise SimulationError("comp_issue_gbps override must be positive")
-        if self.comm_demand_gbps is not None and self.comm_demand_gbps <= 0:
-            raise SimulationError("comm_demand_gbps override must be positive")
+        _check_override("comp_demand_gbps", self.comp_demand_gbps)
+        _check_override("comp_issue_gbps", self.comp_issue_gbps)
+        _check_override("comm_demand_gbps", self.comm_demand_gbps)
 
     @property
     def computing(self) -> bool:
@@ -89,17 +123,153 @@ class ScenarioResult:
     comp_total_gbps: float
     #: Per-core bandwidths, in core order (empty when not computing).
     comp_per_core_gbps: tuple[float, ...]
-    #: Communication (network/DMA) bandwidth (GB/s); 0 when silent.
+    #: Inbound communication (network/DMA) bandwidth (GB/s); 0 when silent.
     comm_gbps: float
     #: Full arbiter output, for diagnostics.
     allocation: Allocation
     #: The solved streams (paths included), for bottleneck analysis.
     streams: tuple[Stream, ...] = ()
+    #: Outbound (transmit) communication bandwidth (GB/s); nonzero only
+    #: for bidirectional scenarios.
+    comm_tx_gbps: float = 0.0
 
     @property
     def total_gbps(self) -> float:
-        """Stacked total — the quantity plotted in the paper's Figure 2."""
-        return self.comp_total_gbps + self.comm_gbps
+        """Stacked total — the quantity plotted in the paper's Figure 2.
+
+        Bidirectional scenarios count both directions: the transmit
+        stream moves real bytes through the memory system too.
+        """
+        return self.comp_total_gbps + self.comm_gbps + self.comm_tx_gbps
+
+
+def _comp_streams(
+    machine: Machine,
+    profile: ContentionProfile,
+    *,
+    prefix: str,
+    socket: int,
+    n_cores: int,
+    m_comp: int,
+    demand_override: float | None,
+    issue_override: float | None,
+    working_set_bytes: int | None = None,
+    level: float = 1.0,
+) -> list[Stream]:
+    """One CPU stream per computing core, ids ``{prefix}core{i}``.
+
+    ``level`` scales demand and issue pressure (tenant load envelopes);
+    the default 1.0 leaves the single-job :class:`Scenario` math
+    bit-identical.
+    """
+    target_socket = machine.socket_of_numa(m_comp)
+    local = target_socket == socket
+    demand = profile.core_stream_gbps(local=local)
+    if demand_override is not None:
+        demand = min(demand, demand_override)
+    # Mesh occupancy follows the core's issue rate, which is its
+    # local-target store rate regardless of where the data actually
+    # lands (bounded by the kernel's own issue rate when an override is
+    # given).
+    issue = (
+        min(profile.core_stream_local_gbps, issue_override)
+        if issue_override is not None
+        else profile.core_stream_local_gbps
+    )
+    path = stream_path(
+        machine, StreamKind.CPU, origin_socket=socket, target_numa=m_comp
+    )
+    return [
+        Stream(
+            stream_id=f"{prefix}core{i}",
+            kind=StreamKind.CPU,
+            demand_gbps=demand * level,
+            path=path,
+            target_numa=m_comp,
+            origin_socket=socket,
+            issue_gbps=issue * level,
+            working_set_bytes=working_set_bytes,
+        )
+        for i in range(n_cores)
+    ]
+
+
+def _comm_streams(
+    machine: Machine,
+    profile: ContentionProfile,
+    *,
+    prefix: str,
+    m_comm: int,
+    demand_override: float | None,
+    bidirectional: bool,
+    cross_traffic: bool,
+    level: float = 1.0,
+    floor_split: int = 1,
+) -> list[Stream]:
+    """DMA stream(s) for one job, ids ``{prefix}nic``/``{prefix}nic-tx``.
+
+    ``cross_traffic`` applies the platform's cross-node NIC penalty
+    (computation data on a different node than the communication data).
+    ``floor_split`` divides the hardware anti-starvation floor among
+    concurrently communicating tenants — the guarantee protects the
+    port, not each job.
+    """
+    nic = machine.nic
+    nominal = profile.nic_nominal_gbps(m_comm, nic.line_rate_gbps)
+    # Platform quirk (pyxis): computations on a *different* node than
+    # the communication data still shave NIC bandwidth — an effect
+    # outside the paper's locality-only model.
+    if cross_traffic and profile.nic_cross_penalty > 0.0:
+        nominal *= 1.0 - profile.nic_cross_penalty
+    # The demand may be capped (message-size study) but the hardware's
+    # anti-starvation floor is defined against the platform nominal: a
+    # NIC asking for less than the guaranteed bandwidth simply gets
+    # everything it asks for.
+    demand = nominal
+    if demand_override is not None:
+        demand = min(demand, demand_override)
+    demand = demand * level
+    floor = min(demand, profile.nic_min_fraction * nominal / floor_split)
+    streams = [
+        Stream(
+            stream_id=f"{prefix}nic",
+            kind=StreamKind.DMA,
+            demand_gbps=demand,
+            path=stream_path(
+                machine, StreamKind.DMA, origin_socket=nic.socket,
+                target_numa=m_comm,
+            ),
+            target_numa=m_comm,
+            origin_socket=nic.socket,
+            min_guarantee_gbps=floor,
+        )
+    ]
+    if bidirectional:
+        # The outbound (send) direction: payload read from the same
+        # node toward the NIC, through the full-duplex port's
+        # transmit side; only the memory path (mesh, link,
+        # controller) is shared with the inbound stream.  The two
+        # directions split the hardware's guaranteed floor.
+        streams.append(
+            Stream(
+                stream_id=f"{prefix}nic-tx",
+                kind=StreamKind.DMA,
+                demand_gbps=nominal * level,
+                path=stream_path(
+                    machine,
+                    StreamKind.DMA,
+                    origin_socket=nic.socket,
+                    target_numa=m_comm,
+                    transmit=True,
+                ),
+                target_numa=m_comm,
+                origin_socket=nic.socket,
+                min_guarantee_gbps=(
+                    0.5 * profile.nic_min_fraction * nominal / floor_split
+                ),
+            )
+        )
+    return streams
 
 
 def build_streams(
@@ -110,107 +280,39 @@ def build_streams(
 
     if scenario.computing:
         assert scenario.m_comp is not None
-        target_socket = machine.socket_of_numa(scenario.m_comp)
-        local = target_socket == COMPUTE_SOCKET
-        demand = profile.core_stream_gbps(local=local)
-        if scenario.comp_demand_gbps is not None:
-            demand = min(demand, scenario.comp_demand_gbps)
         if scenario.n_cores > machine.cores_per_socket:
             raise SimulationError(
                 f"{scenario.n_cores} computing cores requested but socket "
                 f"{COMPUTE_SOCKET} has only {machine.cores_per_socket}"
             )
-        path = stream_path(
-            machine,
-            StreamKind.CPU,
-            origin_socket=COMPUTE_SOCKET,
-            target_numa=scenario.m_comp,
-        )
-        for i in range(scenario.n_cores):
-            streams.append(
-                Stream(
-                    stream_id=f"core{i}",
-                    kind=StreamKind.CPU,
-                    demand_gbps=demand,
-                    path=path,
-                    target_numa=scenario.m_comp,
-                    origin_socket=COMPUTE_SOCKET,
-                    # Mesh occupancy follows the core's issue rate, which
-                    # is its local-target store rate regardless of where
-                    # the data actually lands (bounded by the kernel's
-                    # own issue rate when an override is given).
-                    issue_gbps=(
-                        min(
-                            profile.core_stream_local_gbps,
-                            scenario.comp_issue_gbps,
-                        )
-                        if scenario.comp_issue_gbps is not None
-                        else profile.core_stream_local_gbps
-                    ),
-                )
+        streams.extend(
+            _comp_streams(
+                machine,
+                profile,
+                prefix="",
+                socket=COMPUTE_SOCKET,
+                n_cores=scenario.n_cores,
+                m_comp=scenario.m_comp,
+                demand_override=scenario.comp_demand_gbps,
+                issue_override=scenario.comp_issue_gbps,
             )
+        )
 
     if scenario.communicating:
         assert scenario.m_comm is not None
-        nic = machine.nic
-        nominal = profile.nic_nominal_gbps(scenario.m_comm, nic.line_rate_gbps)
-        # Platform quirk (pyxis): computations on a *different* node than
-        # the communication data still shave NIC bandwidth — an effect
-        # outside the paper's locality-only model.
-        if (
-            scenario.computing
-            and profile.nic_cross_penalty > 0.0
-            and scenario.m_comp != scenario.m_comm
-        ):
-            nominal *= 1.0 - profile.nic_cross_penalty
-        # The demand may be capped (message-size study) but the
-        # hardware's anti-starvation floor is defined against the
-        # platform nominal: a NIC asking for less than the guaranteed
-        # bandwidth simply gets everything it asks for.
-        demand = nominal
-        if scenario.comm_demand_gbps is not None:
-            demand = min(demand, scenario.comm_demand_gbps)
-        floor = min(demand, profile.nic_min_fraction * nominal)
-        path = stream_path(
-            machine,
-            StreamKind.DMA,
-            origin_socket=nic.socket,
-            target_numa=scenario.m_comm,
-        )
-        streams.append(
-            Stream(
-                stream_id="nic",
-                kind=StreamKind.DMA,
-                demand_gbps=demand,
-                path=path,
-                target_numa=scenario.m_comm,
-                origin_socket=nic.socket,
-                min_guarantee_gbps=floor,
+        streams.extend(
+            _comm_streams(
+                machine,
+                profile,
+                prefix="",
+                m_comm=scenario.m_comm,
+                demand_override=scenario.comm_demand_gbps,
+                bidirectional=scenario.bidirectional,
+                cross_traffic=(
+                    scenario.computing and scenario.m_comp != scenario.m_comm
+                ),
             )
         )
-        if scenario.bidirectional:
-            # The outbound (send) direction: payload read from the same
-            # node toward the NIC, through the full-duplex port's
-            # transmit side; only the memory path (mesh, link,
-            # controller) is shared with the inbound stream.  The two
-            # directions split the hardware's guaranteed floor.
-            streams.append(
-                Stream(
-                    stream_id="nic-tx",
-                    kind=StreamKind.DMA,
-                    demand_gbps=nominal,
-                    path=stream_path(
-                        machine,
-                        StreamKind.DMA,
-                        origin_socket=nic.socket,
-                        target_numa=scenario.m_comm,
-                        transmit=True,
-                    ),
-                    target_numa=scenario.m_comm,
-                    origin_socket=nic.socket,
-                    min_guarantee_gbps=0.5 * profile.nic_min_fraction * nominal,
-                )
-            )
 
     return streams
 
@@ -240,11 +342,476 @@ def solve_scenario(
         allocation.rate(f"core{i}") for i in range(scenario.n_cores)
     ) if scenario.computing else ()
     comm = allocation.rate("nic") if scenario.communicating else 0.0
+    comm_tx = (
+        allocation.rate("nic-tx")
+        if scenario.communicating and scenario.bidirectional
+        else 0.0
+    )
     return ScenarioResult(
         scenario=scenario,
         comp_total_gbps=sum(per_core),
         comp_per_core_gbps=per_core,
         comm_gbps=comm,
+        comm_tx_gbps=comm_tx,
         allocation=allocation,
         streams=tuple(streams),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant scheduling
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One constant-level span of a tenant's load envelope.
+
+    ``level`` multiplies the tenant's demand and issue rates for
+    ``duration_s`` seconds; 0 means idle.
+    """
+
+    duration_s: float
+    level: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.duration_s) or self.duration_s <= 0:
+            raise SimulationError(
+                f"phase duration must be a positive finite number of "
+                f"seconds, got {self.duration_s!r}"
+            )
+        if not math.isfinite(self.level) or self.level < 0:
+            raise SimulationError(
+                f"phase level must be a finite number >= 0, got {self.level!r}"
+            )
+
+
+@dataclass(frozen=True)
+class LoadEnvelope:
+    """Piecewise-constant load profile of one tenant.
+
+    The steady-state solver is memoryless, so any time-varying load
+    reduces to a sequence of constant segments; the envelope is the
+    tenant's own phase list, and :func:`solve_tenant_scenario` solves at
+    the union of all tenants' phase boundaries.  A tenant whose envelope
+    is shorter than the scenario horizon holds its last level.
+    """
+
+    phases: tuple[LoadPhase, ...] = (LoadPhase(1.0, 1.0),)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise SimulationError("a load envelope needs at least one phase")
+
+    @classmethod
+    def steady(cls, level: float = 1.0, *, duration_s: float = 1.0) -> LoadEnvelope:
+        """Constant load — the paper's always-on benchmark behaviour."""
+        return cls((LoadPhase(duration_s, level),))
+
+    @classmethod
+    def bursty(
+        cls,
+        *,
+        period_s: float = 1.0,
+        duty: float = 0.5,
+        high: float = 1.0,
+        low: float = 0.0,
+        cycles: int = 4,
+    ) -> LoadEnvelope:
+        """On/off square wave: ``duty`` of each period at ``high``."""
+        if not 0.0 < duty < 1.0:
+            raise SimulationError(f"duty cycle must be in (0, 1), got {duty!r}")
+        if cycles < 1:
+            raise SimulationError(f"cycles must be >= 1, got {cycles!r}")
+        phases: list[LoadPhase] = []
+        for _ in range(cycles):
+            phases.append(LoadPhase(duty * period_s, high))
+            phases.append(LoadPhase((1.0 - duty) * period_s, low))
+        return cls(tuple(phases))
+
+    @classmethod
+    def diurnal(
+        cls,
+        *,
+        day_s: float = 24.0,
+        samples: int = 12,
+        low: float = 0.2,
+        high: float = 1.0,
+    ) -> LoadEnvelope:
+        """One day-night cycle: a raised cosine sampled into steps."""
+        if samples < 2:
+            raise SimulationError(f"samples must be >= 2, got {samples!r}")
+        if not 0.0 <= low <= high:
+            raise SimulationError(
+                f"need 0 <= low <= high, got low={low!r} high={high!r}"
+            )
+        step = day_s / samples
+        phases = tuple(
+            LoadPhase(
+                step,
+                low
+                + (high - low)
+                * 0.5
+                * (1.0 - math.cos(2.0 * math.pi * (i + 0.5) / samples)),
+            )
+            for i in range(samples)
+        )
+        return cls(phases)
+
+    @property
+    def duration_s(self) -> float:
+        return sum(p.duration_s for p in self.phases)
+
+    def boundaries(self) -> tuple[float, ...]:
+        """Cumulative phase end times, last one equal to the duration."""
+        out: list[float] = []
+        t = 0.0
+        for p in self.phases:
+            t += p.duration_s
+            out.append(t)
+        return tuple(out)
+
+    def level_at(self, t: float) -> float:
+        """Load level at time ``t``; holds the last level past the end."""
+        if t < 0.0:
+            raise SimulationError(f"time must be >= 0, got {t!r}")
+        end = 0.0
+        for p in self.phases:
+            end += p.duration_s
+            if t < end:
+                return p.level
+        return self.phases[-1].level
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One independent job sharing the machine with other tenants.
+
+    A tenant is a :class:`Scenario` plus a name, a socket binding, an
+    optional temporal working set (per core; ``None`` keeps the paper's
+    non-temporal stores) and a load envelope.  Demands are raw GB/s —
+    the kernel-mix convenience constructor lives in
+    :mod:`repro.kernels.tenancy` so this module stays free of kernel
+    imports.
+    """
+
+    name: str
+    n_cores: int = 0
+    m_comp: int | None = None
+    m_comm: int | None = None
+    socket: int = COMPUTE_SOCKET
+    comp_demand_gbps: float | None = None
+    comp_issue_gbps: float | None = None
+    comm_demand_gbps: float | None = None
+    #: Per-core temporal working set (bytes).  ``None`` = non-temporal
+    #: stores (LLC bypass); positive = the cores' traffic competes for
+    #: the socket's LLC and only the non-resident share reaches DRAM.
+    working_set_bytes: int | None = None
+    bidirectional: bool = False
+    envelope: LoadEnvelope = field(default_factory=LoadEnvelope)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise SimulationError(
+                f"tenant name must be non-empty and slash-free, got {self.name!r}"
+            )
+        if self.n_cores < 0:
+            raise SimulationError(f"n_cores must be >= 0, got {self.n_cores}")
+        if self.n_cores > 0 and self.m_comp is None:
+            raise SimulationError(
+                f"tenant {self.name!r}: computing cores need a data node (m_comp)"
+            )
+        if self.socket < 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: socket must be >= 0, got {self.socket}"
+            )
+        _check_override(f"tenant {self.name!r}: comp_demand_gbps",
+                        self.comp_demand_gbps)
+        _check_override(f"tenant {self.name!r}: comp_issue_gbps",
+                        self.comp_issue_gbps)
+        _check_override(f"tenant {self.name!r}: comm_demand_gbps",
+                        self.comm_demand_gbps)
+        if self.working_set_bytes is not None and self.working_set_bytes <= 0:
+            raise SimulationError(
+                f"tenant {self.name!r}: working set must be positive when "
+                f"given, got {self.working_set_bytes}"
+            )
+
+    @property
+    def computing(self) -> bool:
+        return self.n_cores > 0 and self.m_comp is not None
+
+    @property
+    def communicating(self) -> bool:
+        return self.m_comm is not None
+
+
+@dataclass(frozen=True)
+class TenantScenario:
+    """N tenants sharing one machine for one scheduling horizon."""
+
+    tenants: tuple[Tenant, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not self.tenants:
+            raise SimulationError("a tenant scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate tenant names: {names}")
+
+    @property
+    def horizon_s(self) -> float:
+        """Scheduling horizon: the longest tenant envelope."""
+        return max(t.envelope.duration_s for t in self.tenants)
+
+
+@dataclass(frozen=True)
+class TenantBandwidth:
+    """One tenant's bandwidth during one segment (or its time average)."""
+
+    #: Processed computation bandwidth (GB/s) — cache hits included, i.e.
+    #: the DRAM rate divided by the LLC traffic factor.
+    comp_gbps: float
+    #: DRAM-side computation bandwidth actually drawn (GB/s).
+    comp_dram_gbps: float
+    #: Inbound communication bandwidth (GB/s).
+    comm_gbps: float
+    #: Outbound communication bandwidth (GB/s, bidirectional tenants).
+    comm_tx_gbps: float
+
+    @property
+    def total_gbps(self) -> float:
+        return self.comp_gbps + self.comm_gbps + self.comm_tx_gbps
+
+
+_IDLE_BANDWIDTH = TenantBandwidth(0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Steady-state solve of one constant-load segment."""
+
+    start_s: float
+    end_s: float
+    #: Each tenant's envelope level during the segment.
+    levels: Mapping[str, float]
+    per_tenant: Mapping[str, TenantBandwidth]
+    allocation: Allocation
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class TenantScenarioResult:
+    """Per-segment solves plus time-weighted per-tenant averages."""
+
+    scenario: TenantScenario
+    horizon_s: float
+    phases: tuple[PhaseResult, ...]
+    #: Time-weighted average bandwidth over the horizon, per tenant.
+    per_tenant: Mapping[str, TenantBandwidth]
+
+    def tenant(self, name: str) -> TenantBandwidth:
+        try:
+            return self.per_tenant[name]
+        except KeyError:
+            raise SimulationError(
+                f"no tenant {name!r}; known: {sorted(self.per_tenant)}"
+            ) from None
+
+
+def _tenant_active(tenant: Tenant, level: float) -> bool:
+    return level > 0.0 and (tenant.computing or tenant.communicating)
+
+
+def build_tenant_streams(
+    machine: Machine,
+    profile: ContentionProfile,
+    scenario: TenantScenario,
+    *,
+    levels: Mapping[str, float] | None = None,
+) -> list[Stream]:
+    """Merged stream set of all active tenants at the given load levels.
+
+    Stream ids are namespaced ``{tenant}/core{i}``, ``{tenant}/nic``,
+    ``{tenant}/nic-tx``.  Tenants at level 0 (or with no activity)
+    contribute no streams at all, so a solve with an idle tenant is
+    bit-identical to the same solve without it.
+    """
+    if levels is None:
+        levels = {t.name: 1.0 for t in scenario.tenants}
+    cores_used: dict[int, int] = {}
+    for t in scenario.tenants:
+        if t.socket >= machine.n_sockets:
+            raise SimulationError(
+                f"tenant {t.name!r}: socket {t.socket} out of range on "
+                f"{machine.name!r} ({machine.n_sockets} sockets)"
+            )
+        cores_used[t.socket] = cores_used.get(t.socket, 0) + t.n_cores
+    for socket, used in cores_used.items():
+        if used > machine.cores_per_socket:
+            raise SimulationError(
+                f"tenants request {used} cores on socket {socket} but "
+                f"{machine.name!r} has only {machine.cores_per_socket} per socket"
+            )
+
+    active = [
+        t for t in scenario.tenants
+        if _tenant_active(t, levels.get(t.name, 1.0))
+    ]
+    n_comm = sum(1 for t in active if t.communicating)
+
+    streams: list[Stream] = []
+    for t in active:
+        level = levels.get(t.name, 1.0)
+        if t.computing:
+            assert t.m_comp is not None
+            streams.extend(
+                _comp_streams(
+                    machine,
+                    profile,
+                    prefix=f"{t.name}/",
+                    socket=t.socket,
+                    n_cores=t.n_cores,
+                    m_comp=t.m_comp,
+                    demand_override=t.comp_demand_gbps,
+                    issue_override=t.comp_issue_gbps,
+                    working_set_bytes=t.working_set_bytes,
+                    level=level,
+                )
+            )
+        if t.communicating:
+            assert t.m_comm is not None
+            streams.extend(
+                _comm_streams(
+                    machine,
+                    profile,
+                    prefix=f"{t.name}/",
+                    m_comm=t.m_comm,
+                    demand_override=t.comm_demand_gbps,
+                    bidirectional=t.bidirectional,
+                    cross_traffic=(t.computing and t.m_comp != t.m_comm),
+                    level=level,
+                    floor_split=n_comm,
+                )
+            )
+    return streams
+
+
+def _attribute(
+    scenario: TenantScenario,
+    levels: Mapping[str, float],
+    allocation: Allocation,
+) -> dict[str, TenantBandwidth]:
+    """Split one allocation's rates back per tenant."""
+    out: dict[str, TenantBandwidth] = {}
+    for t in scenario.tenants:
+        if not _tenant_active(t, levels.get(t.name, 1.0)):
+            out[t.name] = _IDLE_BANDWIDTH
+            continue
+        comp = dram = 0.0
+        if t.computing:
+            for i in range(t.n_cores):
+                sid = f"{t.name}/core{i}"
+                rate = allocation.rate(sid)
+                dram += rate
+                # Processed bandwidth includes cache hits: DRAM rate
+                # divided by the LLC traffic factor (1.0 when the
+                # stream bypassed the cache).
+                comp += rate / allocation.llc_factors.get(sid, 1.0)
+        comm = allocation.rate(f"{t.name}/nic") if t.communicating else 0.0
+        comm_tx = (
+            allocation.rate(f"{t.name}/nic-tx")
+            if t.communicating and t.bidirectional
+            else 0.0
+        )
+        out[t.name] = TenantBandwidth(
+            comp_gbps=comp,
+            comp_dram_gbps=dram,
+            comm_gbps=comm,
+            comm_tx_gbps=comm_tx,
+        )
+    return out
+
+
+def _segment_boundaries(scenario: TenantScenario) -> list[float]:
+    """Union of all tenants' phase boundaries, clipped to the horizon."""
+    horizon = scenario.horizon_s
+    cuts = {0.0, horizon}
+    for t in scenario.tenants:
+        for b in t.envelope.boundaries():
+            if b < horizon:
+                cuts.add(b)
+    return sorted(cuts)
+
+
+def solve_tenant_scenario(
+    machine: Machine,
+    profile: ContentionProfile,
+    scenario: TenantScenario,
+    *,
+    resource_map: ResourceMap | None = None,
+    arbiter: Arbiter | None = None,
+) -> TenantScenarioResult:
+    """Solve a multi-tenant scenario over its scheduling horizon.
+
+    The load envelopes are piecewise constant, so the horizon splits at
+    the union of all tenants' phase boundaries into segments with one
+    steady-state solve each; the reported per-tenant averages are
+    time-weighted over the segments.
+    """
+    if arbiter is None:
+        if resource_map is None:
+            resource_map = build_resources(machine, profile)
+        arbiter = Arbiter(resource_map, profile)
+
+    cuts = _segment_boundaries(scenario)
+    phases: list[PhaseResult] = []
+    sums: dict[str, list[float]] = {
+        t.name: [0.0, 0.0, 0.0, 0.0] for t in scenario.tenants
+    }
+    for start, end in zip(cuts, cuts[1:]):
+        mid = 0.5 * (start + end)
+        levels = {t.name: t.envelope.level_at(mid) for t in scenario.tenants}
+        streams = build_tenant_streams(
+            machine, profile, scenario, levels=levels
+        )
+        allocation = arbiter.solve(streams)
+        per_tenant = _attribute(scenario, levels, allocation)
+        phases.append(
+            PhaseResult(
+                start_s=start,
+                end_s=end,
+                levels=levels,
+                per_tenant=per_tenant,
+                allocation=allocation,
+            )
+        )
+        span = end - start
+        for name, bw in per_tenant.items():
+            acc = sums[name]
+            acc[0] += bw.comp_gbps * span
+            acc[1] += bw.comp_dram_gbps * span
+            acc[2] += bw.comm_gbps * span
+            acc[3] += bw.comm_tx_gbps * span
+
+    horizon = scenario.horizon_s
+    averages = {
+        name: TenantBandwidth(
+            comp_gbps=acc[0] / horizon,
+            comp_dram_gbps=acc[1] / horizon,
+            comm_gbps=acc[2] / horizon,
+            comm_tx_gbps=acc[3] / horizon,
+        )
+        for name, acc in sums.items()
+    }
+    return TenantScenarioResult(
+        scenario=scenario,
+        horizon_s=horizon,
+        phases=tuple(phases),
+        per_tenant=averages,
     )

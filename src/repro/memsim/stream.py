@@ -64,6 +64,12 @@ class Stream:
         destination drains them (a core writing to a slow remote node
         still occupies mesh slots at its local issue rate).  Defaults to
         ``demand_gbps`` when 0.
+    working_set_bytes:
+        Per-stream temporal working set.  ``None`` (the default, and
+        the paper's non-temporal setting) bypasses the LLC entirely; a
+        positive value makes the stream compete for its origin socket's
+        LLC capacity, and only the non-resident share of its traffic
+        reaches DRAM (:mod:`repro.memsim.llc`).  CPU streams only.
     """
 
     stream_id: str
@@ -74,6 +80,7 @@ class Stream:
     origin_socket: int
     min_guarantee_gbps: float = 0.0
     issue_gbps: float = 0.0
+    working_set_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if not self.stream_id:
@@ -103,6 +110,17 @@ class Stream:
                 "bandwidth guarantee (the paper's anti-starvation floor is a "
                 "property of PCIe traffic)"
             )
+        if self.working_set_bytes is not None:
+            if self.working_set_bytes <= 0:
+                raise SimulationError(
+                    f"stream {self.stream_id!r}: working set must be positive "
+                    f"when given, got {self.working_set_bytes}"
+                )
+            if self.kind is not StreamKind.CPU:
+                raise SimulationError(
+                    f"stream {self.stream_id!r}: only CPU streams are "
+                    "filtered by the LLC (DMA writes bypass it)"
+                )
 
     @property
     def pressure_gbps(self) -> float:

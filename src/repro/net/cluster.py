@@ -73,6 +73,7 @@ def _prefix_map(rank: int, resources: ResourceMap) -> dict[str, Resource]:
             capacity_gbps=resource.capacity_gbps,
             remote_capacity_gbps=resource.remote_capacity_gbps,
             socket=resource.socket,
+            size_bytes=resource.size_bytes,
         )
     return out
 

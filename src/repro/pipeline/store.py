@@ -288,6 +288,12 @@ class ArtifactStore:
                 try:
                     tmp_dir.rename(destination)
                 except OSError:
+                    if not destination.exists():
+                        # The rename failed for a real reason — disk
+                        # full, permissions, a cross-device move — not
+                        # because someone else won the race.  Swallowing
+                        # it here would silently drop the entry.
+                        raise
                     # A concurrent writer already published this key.  Both
                     # computed the same content-addressed bytes: theirs is
                     # as good as ours.  Counted so the books still balance:

@@ -201,18 +201,29 @@ class ServiceClient:
         self,
         platform: str,
         *,
-        comp_bytes: float,
-        comm_bytes: float,
-        top: int = 5,
+        comp_bytes: float | None = None,
+        comm_bytes: float | None = None,
+        top: int | None = 5,
         seed: int = 0,
         backend: str | None = None,
+        victim: bool = False,
     ) -> dict:
+        if victim:
+            body = {"platform": platform, "seed": seed, "victim": True}
+            if top is not None:
+                body["top"] = top
+            return self._request("POST", "/advise", body)
+        if comp_bytes is None or comm_bytes is None:
+            raise ServiceError(
+                "workload advice needs comp_bytes and comm_bytes "
+                "(pass victim=True for victim-placement advice)"
+            )
         body = {
             "platform": platform,
             "seed": seed,
             "comp_bytes": comp_bytes,
             "comm_bytes": comm_bytes,
-            "top": top,
+            "top": 5 if top is None else top,
         }
         if backend is not None:
             body["backend"] = backend

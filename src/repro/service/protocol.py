@@ -27,7 +27,9 @@ __all__ = [
     "PredictQuery",
     "error_payload",
     "http_status_for",
+    "is_victim_advise",
     "parse_advise",
+    "parse_advise_victim",
     "parse_calibrate",
     "parse_predict",
     "parse_predict_grid",
@@ -226,3 +228,31 @@ def parse_advise(
     comm_bytes = _as_number(_get(body, "comm_bytes"), "comm_bytes")
     top = _as_int(_get(body, "top", default=5), "top")
     return platform, seed, comp_bytes, comm_bytes, top, _backend(body)
+
+
+def is_victim_advise(body: object) -> bool:
+    """Whether an ``/advise`` body selects the victim-placement mode."""
+    return isinstance(body, dict) and bool(body.get("victim"))
+
+
+def parse_advise_victim(body: object) -> tuple[str, int, int | None]:
+    """``POST /advise`` with ``"victim": true``
+    -> (platform, seed, top).
+
+    Victim mode stress-tests placements against the noisy-neighbour
+    roster, so the workload byte counts of the makespan advisor do not
+    apply and are rejected to avoid silently ignoring them.
+    """
+    body = _require_mapping(body)
+    if body.get("victim") is not True:
+        raise ServiceError("field 'victim' must be the JSON literal true")
+    for banned in ("comp_bytes", "comm_bytes", "backend"):
+        if banned in body:
+            raise ServiceError(
+                f"field {banned!r} does not apply to victim-placement "
+                "advice; drop it or drop 'victim'"
+            )
+    platform, seed = _platform_and_seed(body)
+    raw_top = _get(body, "top", default=None)
+    top = None if raw_top is None else _as_int(raw_top, "top")
+    return platform, seed, top

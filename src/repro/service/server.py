@@ -27,8 +27,9 @@ import json
 import logging
 import time
 
-from repro.advisor import Advisor, Workload
+from repro.advisor import Advisor, Workload, advise_victim_placement
 from repro.errors import ReproError, ServiceError
+from repro.topology import get_platform
 from repro.obs import span
 from repro.service import protocol
 from repro.service.batching import PredictBatcher
@@ -470,6 +471,8 @@ class ContentionService:
         }
 
     async def _handle_advise(self, body: object) -> dict:
+        if protocol.is_victim_advise(body):
+            return self._advise_victim(body)
         platform, seed, comp_bytes, comm_bytes, top, backend = (
             protocol.parse_advise(body)
         )
@@ -498,3 +501,22 @@ class ContentionService:
         if backend is not None:
             payload["backend"] = backend
         return payload
+
+    def _advise_victim(self, body: object) -> dict:
+        """Victim-placement mode of ``/advise``.
+
+        Runs on the simulator directly (the multi-tenant scheduler
+        needs the machine, not a calibrated model), so no registry
+        entry — and no calibration — is required.
+        """
+        platform, seed, top = protocol.parse_advise_victim(body)
+        spec = get_platform(platform)
+        placements = advise_victim_placement(
+            spec.machine, spec.profile, top=top
+        )
+        return {
+            "platform": platform,
+            "seed": seed,
+            "victim": True,
+            "placements": [p.to_dict() for p in placements],
+        }

@@ -1,0 +1,205 @@
+"""Victim-placement advice: minimax ranking, roster shape, CLI surface."""
+
+import pytest
+
+from repro.advisor import (
+    VictimPlacement,
+    advise_victim_placement,
+    stressor_roster,
+)
+from repro.advisor.victim import VICTIM_NAME
+from repro.errors import AdvisorError, ServiceError
+from repro.memsim import Tenant, TenantScenario, solve_tenant_scenario
+from repro.service import protocol
+from repro.topology import get_platform
+
+HENRI = get_platform("henri")
+PYXIS = get_platform("pyxis")
+
+
+def brute_force_worst_cases(spec):
+    """Independent reimplementation: worst-case comm per node."""
+    roster = stressor_roster(spec.machine, spec.profile)
+    out = {}
+    for node in spec.machine.iter_numa_nodes():
+        victim = Tenant(name=VICTIM_NAME, m_comm=node.index)
+        baseline = solve_tenant_scenario(
+            spec.machine, spec.profile, TenantScenario((victim,))
+        ).tenant(VICTIM_NAME).comm_gbps
+        worst = min(
+            solve_tenant_scenario(
+                spec.machine, spec.profile,
+                TenantScenario((victim, stressor)),
+            ).tenant(VICTIM_NAME).comm_gbps
+            for stressor in roster
+        )
+        out[node.index] = (baseline, worst)
+    return out
+
+
+class TestRanking:
+    @pytest.mark.parametrize("spec", [HENRI, PYXIS], ids=lambda s: s.name)
+    def test_matches_the_brute_force_minimax(self, spec):
+        placements = advise_victim_placement(spec.machine, spec.profile)
+        reference = brute_force_worst_cases(spec)
+        assert len(placements) == len(reference)
+        by_node = {p.m_comm: p for p in placements}
+        for node, (baseline, worst) in reference.items():
+            assert by_node[node].baseline_gbps == baseline
+            assert by_node[node].worst_gbps == worst
+        # Ranked by smallest worst-case degradation first.
+        degradations = [p.degradation for p in placements]
+        assert degradations == sorted(degradations)
+        best_node = min(
+            reference, key=lambda n: 1.0 - reference[n][1] / reference[n][0]
+        )
+        assert placements[0].degradation == (
+            1.0 - reference[best_node][1] / reference[best_node][0]
+        )
+
+    def test_every_stressor_is_scored(self):
+        placements = advise_victim_placement(HENRI.machine, HENRI.profile)
+        roster_names = {t.name for t in stressor_roster(
+            HENRI.machine, HENRI.profile
+        )}
+        for p in placements:
+            assert set(p.per_stressor_gbps) == roster_names
+            assert p.worst_stressor in roster_names
+            assert p.worst_gbps == min(p.per_stressor_gbps.values())
+            assert 0.0 <= p.degradation < 1.0
+
+    def test_top_truncates(self):
+        top1 = advise_victim_placement(HENRI.machine, HENRI.profile, top=1)
+        assert len(top1) == 1
+        full = advise_victim_placement(HENRI.machine, HENRI.profile)
+        assert top1[0] == full[0]
+
+    def test_top_validation(self):
+        with pytest.raises(AdvisorError, match="top"):
+            advise_victim_placement(HENRI.machine, HENRI.profile, top=0)
+
+    def test_custom_roster(self):
+        roster = [Tenant(name="noisy", n_cores=4, m_comp=0)]
+        placements = advise_victim_placement(
+            HENRI.machine, HENRI.profile, roster=roster
+        )
+        assert all(p.worst_stressor == "noisy" for p in placements)
+
+    def test_empty_roster_rejected(self):
+        with pytest.raises(AdvisorError, match="non-empty"):
+            advise_victim_placement(HENRI.machine, HENRI.profile, roster=[])
+
+    def test_reserved_victim_name_rejected(self):
+        with pytest.raises(AdvisorError, match="reserved"):
+            advise_victim_placement(
+                HENRI.machine, HENRI.profile,
+                roster=[Tenant(name=VICTIM_NAME, n_cores=1, m_comp=0)],
+            )
+
+
+class TestRoster:
+    def test_covers_bus_llc_and_nic_attacks(self):
+        roster = stressor_roster(HENRI.machine, HENRI.profile)
+        names = [t.name for t in roster]
+        for node in HENRI.machine.iter_numa_nodes():
+            assert f"bus@{node.index}" in names
+        assert "llc-thrash" in names
+        assert "nic-flood" in names
+
+    def test_stressors_compute_on_the_far_socket(self):
+        """Two-socket machines co-schedule the noise on socket 1."""
+        for tenant in stressor_roster(HENRI.machine, HENRI.profile):
+            if tenant.computing:
+                assert tenant.socket == 1
+
+    def test_llc_thrash_overflows_its_fair_share(self):
+        roster = stressor_roster(HENRI.machine, HENRI.profile)
+        thrash = next(t for t in roster if t.name == "llc-thrash")
+        llc = max(HENRI.machine.sockets[1].caches, key=lambda c: c.level)
+        fair = llc.size_bytes / HENRI.machine.cores_per_socket
+        assert thrash.working_set_bytes > fair
+        assert thrash.n_cores == HENRI.machine.cores_per_socket
+
+    def test_nic_flood_is_bidirectional(self):
+        roster = stressor_roster(HENRI.machine, HENRI.profile)
+        flood = next(t for t in roster if t.name == "nic-flood")
+        assert flood.bidirectional
+        assert flood.communicating and not flood.computing
+
+
+class TestPlacementView:
+    def test_describe_and_to_dict_agree(self):
+        placement = VictimPlacement(
+            m_comm=1,
+            baseline_gbps=10.0,
+            worst_gbps=4.0,
+            worst_stressor="bus@0",
+            per_stressor_gbps={"bus@0": 4.0, "nic-flood": 8.0},
+        )
+        assert placement.degradation == pytest.approx(0.6)
+        text = placement.describe()
+        assert "node 1" in text and "-60%" in text and "bus@0" in text
+        payload = placement.to_dict()
+        assert payload["degradation"] == pytest.approx(0.6)
+        assert payload["per_stressor_gbps"]["nic-flood"] == 8.0
+
+
+class TestProtocol:
+    def test_victim_mode_detection(self):
+        assert protocol.is_victim_advise({"victim": True})
+        assert not protocol.is_victim_advise({"victim": False})
+        assert not protocol.is_victim_advise({"comp_bytes": 1})
+        assert not protocol.is_victim_advise("not a dict")
+
+    def test_parse_accepts_minimal_body(self):
+        assert protocol.parse_advise_victim(
+            {"platform": "henri", "victim": True}
+        ) == ("henri", 0, None)
+
+    def test_parse_carries_seed_and_top(self):
+        assert protocol.parse_advise_victim(
+            {"platform": "henri", "victim": True, "seed": 3, "top": 2}
+        ) == ("henri", 3, 2)
+
+    def test_victim_must_be_the_json_literal_true(self):
+        with pytest.raises(ServiceError, match="literal true"):
+            protocol.parse_advise_victim({"platform": "henri", "victim": 1})
+
+    @pytest.mark.parametrize("banned", ["comp_bytes", "comm_bytes", "backend"])
+    def test_workload_fields_are_rejected(self, banned):
+        with pytest.raises(ServiceError, match=banned):
+            protocol.parse_advise_victim(
+                {"platform": "henri", "victim": True, banned: "x"}
+            )
+
+
+class TestCli:
+    def test_advise_victim(self, capsys):
+        from repro.cli import main
+
+        assert main(["advise", "henri", "--victim"]) == 0
+        out = capsys.readouterr().out
+        assert "Victim placements for henri" in out
+        assert "worst case" in out
+        # One ranked line per NUMA node.
+        assert "  1. comm data on node" in out
+        assert "  2. comm data on node" in out
+
+    def test_advise_victim_ranks_like_the_library(self, capsys):
+        from repro.cli import main
+
+        assert main(["advise", "pyxis", "--victim", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        best = advise_victim_placement(
+            PYXIS.machine, PYXIS.profile, top=1
+        )[0]
+        assert f"node {best.m_comm}" in out
+        assert "  2." not in out
+
+    def test_victim_rejects_workload_bytes(self, capsys):
+        from repro.cli import EXIT_CODES, main
+        from repro import errors
+
+        code = main(["advise", "henri", "--victim", "--comp-bytes", "1e9"])
+        assert code == EXIT_CODES[errors.AdvisorError] == 10
+        assert "do not apply" in capsys.readouterr().err

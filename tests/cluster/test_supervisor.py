@@ -163,6 +163,45 @@ class TestWaitReady:
             supervisor.wait_ready(timeout_s=5)
         supervisor.stop(drain_timeout_s=1)
 
+    def test_not_up_yet_errors_poll_into_a_timeout(
+        self, tmp_path, monkeypatch
+    ):
+        """ServiceError/OSError mean "not listening yet": retried until
+        the deadline, then reported as a readiness timeout."""
+        from repro.cluster import supervisor as supervisor_module
+        from repro.errors import ServiceError
+
+        supervisor = Supervisor(workers=1, replication=1, cache_dir=tmp_path)
+
+        def refused(self):
+            raise ServiceError("cannot reach service")
+
+        monkeypatch.setattr(
+            supervisor_module.ServiceClient, "healthz", refused
+        )
+        with pytest.raises(ClusterError, match="did not become ready"):
+            supervisor.wait_ready(timeout_s=0.2)
+
+    def test_unexpected_healthz_error_propagates_immediately(
+        self, tmp_path, monkeypatch
+    ):
+        """A genuine bug in the health probe must not be retried into a
+        misleading "did not become ready" timeout."""
+        from repro.cluster import supervisor as supervisor_module
+
+        supervisor = Supervisor(workers=1, replication=1, cache_dir=tmp_path)
+
+        def broken(self):
+            raise ValueError("a bug, not a connection problem")
+
+        monkeypatch.setattr(
+            supervisor_module.ServiceClient, "healthz", broken
+        )
+        start = time.monotonic()
+        with pytest.raises(ValueError, match="a bug"):
+            supervisor.wait_ready(timeout_s=30.0)
+        assert time.monotonic() - start < 5.0  # no retry loop
+
 
 class TestBackendPrefetchHints:
     """Shard-map prefetch hints: each worker is told the store entry

@@ -16,7 +16,18 @@ class TestBuildResources:
         assert "link:0->1" in ids and "link:1->0" in ids
         assert "pcie:0" in ids and "nic:0" in ids
         assert "pcie-tx:0" in ids and "nic-tx:0" in ids  # full duplex
-        assert len(rmap) == 10
+        assert "llc:0" in ids and "llc:1" in ids
+        assert len(rmap) == 12
+
+    def test_llc_resources_carry_cache_size(self, henri):
+        rmap = build_resources(henri.machine, henri.profile)
+        llc = rmap["llc:0"]
+        assert llc.kind is ResourceKind.LLC
+        assert llc.socket == 0
+        assert llc.size_bytes == henri.machine.sockets[0].caches[-1].size_bytes
+        # Capacity resources never appear in stream paths, so their
+        # byte bandwidth is unconstrained.
+        assert llc.capacity_gbps == float("inf")
 
     def test_controller_capacities(self, henri):
         rmap = build_resources(henri.machine, henri.profile)

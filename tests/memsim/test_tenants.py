@@ -1,0 +1,426 @@
+"""The tenant layer: envelopes, composition, attribution — and the PR's
+central regression: a single steady tenant must reproduce the paper's
+single-job :func:`solve_scenario` *bit for bit* on every archived
+platform, placement and core count."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim import (
+    LoadEnvelope,
+    LoadPhase,
+    Scenario,
+    Tenant,
+    TenantScenario,
+    build_tenant_streams,
+    solve_scenario,
+    solve_tenant_scenario,
+)
+from repro.topology import get_platform, platform_names
+
+HENRI = get_platform("henri")
+
+
+# ---- Scenario override validation (the NaN/inf bugfix) ------------------------
+
+
+class TestScenarioOverrideValidation:
+    @pytest.mark.parametrize(
+        "fieldname",
+        ["comp_demand_gbps", "comp_issue_gbps", "comm_demand_gbps"],
+    )
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf"), 0.0, -5.0]
+    )
+    def test_non_finite_or_non_positive_overrides_rejected(
+        self, fieldname, bad
+    ):
+        """NaN used to sail through the ``<= 0`` check and poison the
+        solver with NaN rates; now every bad override names its field."""
+        kwargs = {fieldname: bad}
+        with pytest.raises(SimulationError, match=fieldname):
+            Scenario(n_cores=2, m_comp=0, m_comm=0, **kwargs)
+
+    def test_valid_overrides_still_accepted(self):
+        scenario = Scenario(
+            n_cores=2, m_comp=0, m_comm=0,
+            comp_demand_gbps=5.0, comp_issue_gbps=7.0, comm_demand_gbps=3.0,
+        )
+        assert scenario.comp_demand_gbps == 5.0
+
+    @pytest.mark.parametrize(
+        "fieldname",
+        ["comp_demand_gbps", "comp_issue_gbps", "comm_demand_gbps"],
+    )
+    def test_tenant_overrides_validated_too(self, fieldname):
+        with pytest.raises(SimulationError) as excinfo:
+            Tenant(name="job", n_cores=1, m_comp=0, m_comm=0,
+                   **{fieldname: float("nan")})
+        assert fieldname in str(excinfo.value)
+        assert "'job'" in str(excinfo.value)
+
+
+# ---- solved transmit bandwidth (bidirectional) --------------------------------
+
+
+class TestCommTx:
+    def test_unidirectional_reports_zero(self):
+        result = solve_scenario(
+            HENRI.machine, HENRI.profile,
+            Scenario(n_cores=0, m_comp=None, m_comm=0),
+        )
+        assert result.comm_tx_gbps == 0.0
+
+    def test_bidirectional_tx_is_solved_not_assumed(self):
+        result = solve_scenario(
+            HENRI.machine, HENRI.profile,
+            Scenario(n_cores=0, m_comp=None, m_comm=0, bidirectional=True),
+        )
+        assert result.comm_tx_gbps > 0.0
+        assert result.comm_tx_gbps == result.allocation.rate("nic-tx")
+
+    def test_tx_respects_its_anti_starvation_floor_under_load(self):
+        machine, profile = HENRI.machine, HENRI.profile
+        n = machine.cores_per_socket
+        result = solve_scenario(
+            machine, profile,
+            Scenario(n_cores=n, m_comp=0, m_comm=0, bidirectional=True),
+        )
+        nominal = profile.nic_nominal_gbps(0, machine.nic.line_rate_gbps)
+        assert result.comm_tx_gbps >= 0.5 * profile.nic_min_fraction * nominal - 1e-9
+        # Full-socket computation load: the transmit side is contended.
+        assert result.comm_tx_gbps < nominal
+
+    def test_total_includes_both_directions(self):
+        result = solve_scenario(
+            HENRI.machine, HENRI.profile,
+            Scenario(n_cores=4, m_comp=0, m_comm=0, bidirectional=True),
+        )
+        assert result.total_gbps == (
+            result.comp_total_gbps + result.comm_gbps + result.comm_tx_gbps
+        )
+
+
+# ---- load envelopes ------------------------------------------------------------
+
+
+class TestLoadEnvelope:
+    def test_phase_validation(self):
+        with pytest.raises(SimulationError, match="duration"):
+            LoadPhase(0.0, 1.0)
+        with pytest.raises(SimulationError, match="duration"):
+            LoadPhase(float("nan"), 1.0)
+        with pytest.raises(SimulationError, match="level"):
+            LoadPhase(1.0, -0.1)
+        with pytest.raises(SimulationError, match="level"):
+            LoadPhase(1.0, float("inf"))
+
+    def test_envelope_needs_a_phase(self):
+        with pytest.raises(SimulationError, match="at least one phase"):
+            LoadEnvelope(())
+
+    def test_default_is_steady_full_load(self):
+        env = LoadEnvelope()
+        assert env.duration_s == 1.0
+        assert env.level_at(0.5) == 1.0
+
+    def test_steady(self):
+        env = LoadEnvelope.steady(0.25, duration_s=3.0)
+        assert env.duration_s == 3.0
+        assert env.level_at(2.9) == 0.25
+
+    def test_bursty_square_wave(self):
+        env = LoadEnvelope.bursty(period_s=2.0, duty=0.25, cycles=3)
+        assert env.duration_s == pytest.approx(6.0)
+        assert env.level_at(0.1) == 1.0
+        assert env.level_at(1.0) == 0.0
+        assert env.boundaries() == pytest.approx(
+            (0.5, 2.0, 2.5, 4.0, 4.5, 6.0)
+        )
+
+    def test_bursty_validation(self):
+        with pytest.raises(SimulationError, match="duty"):
+            LoadEnvelope.bursty(duty=0.0)
+        with pytest.raises(SimulationError, match="duty"):
+            LoadEnvelope.bursty(duty=1.0)
+        with pytest.raises(SimulationError, match="cycles"):
+            LoadEnvelope.bursty(cycles=0)
+
+    def test_diurnal_stays_within_bounds_and_peaks_mid_cycle(self):
+        env = LoadEnvelope.diurnal(day_s=24.0, samples=8, low=0.2, high=1.0)
+        levels = [p.level for p in env.phases]
+        assert all(0.2 <= lv <= 1.0 for lv in levels)
+        assert max(levels) > 0.9 and min(levels) < 0.3
+        # Raised cosine: the trough sits at the cycle edges.
+        assert levels[0] == min(levels)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(SimulationError, match="samples"):
+            LoadEnvelope.diurnal(samples=1)
+        with pytest.raises(SimulationError, match="low"):
+            LoadEnvelope.diurnal(low=0.9, high=0.5)
+
+    def test_level_at_holds_last_level_past_the_end(self):
+        env = LoadEnvelope((LoadPhase(1.0, 0.8), LoadPhase(1.0, 0.3)))
+        assert env.level_at(0.5) == 0.8
+        assert env.level_at(1.5) == 0.3
+        assert env.level_at(99.0) == 0.3
+        with pytest.raises(SimulationError, match=">= 0"):
+            env.level_at(-1.0)
+
+
+# ---- tenant and scenario validation --------------------------------------------
+
+
+class TestTenantValidation:
+    def test_name_must_be_non_empty_and_slash_free(self):
+        with pytest.raises(SimulationError, match="slash-free"):
+            Tenant(name="")
+        with pytest.raises(SimulationError, match="slash-free"):
+            Tenant(name="a/b", m_comm=0)
+
+    def test_computing_needs_a_data_node(self):
+        with pytest.raises(SimulationError, match="m_comp"):
+            Tenant(name="job", n_cores=2)
+
+    def test_negative_cores_and_socket_rejected(self):
+        with pytest.raises(SimulationError, match="n_cores"):
+            Tenant(name="job", n_cores=-1, m_comp=0)
+        with pytest.raises(SimulationError, match="socket"):
+            Tenant(name="job", m_comm=0, socket=-1)
+
+    def test_working_set_must_be_positive(self):
+        with pytest.raises(SimulationError, match="working set"):
+            Tenant(name="job", n_cores=1, m_comp=0, working_set_bytes=0)
+
+    def test_scenario_needs_tenants_with_unique_names(self):
+        with pytest.raises(SimulationError, match="at least one tenant"):
+            TenantScenario(())
+        with pytest.raises(SimulationError, match="duplicate"):
+            TenantScenario(
+                (Tenant(name="a", m_comm=0), Tenant(name="a", m_comm=1))
+            )
+
+    def test_horizon_is_the_longest_envelope(self):
+        scenario = TenantScenario(
+            (
+                Tenant(name="a", m_comm=0,
+                       envelope=LoadEnvelope.steady(1.0, duration_s=2.0)),
+                Tenant(name="b", m_comm=1,
+                       envelope=LoadEnvelope.steady(1.0, duration_s=5.0)),
+            )
+        )
+        assert scenario.horizon_s == 5.0
+
+    def test_socket_out_of_range(self):
+        scenario = TenantScenario(
+            (Tenant(name="a", n_cores=1, m_comp=0, socket=7),)
+        )
+        with pytest.raises(SimulationError, match="out of range"):
+            build_tenant_streams(HENRI.machine, HENRI.profile, scenario)
+
+    def test_core_budget_is_per_socket(self):
+        n = HENRI.machine.cores_per_socket
+        scenario = TenantScenario(
+            (
+                Tenant(name="a", n_cores=n, m_comp=0),
+                Tenant(name="b", n_cores=1, m_comp=0),
+            )
+        )
+        with pytest.raises(SimulationError, match="only"):
+            build_tenant_streams(HENRI.machine, HENRI.profile, scenario)
+        # The same total spread over both sockets fits.
+        ok = TenantScenario(
+            (
+                Tenant(name="a", n_cores=n, m_comp=0),
+                Tenant(name="b", n_cores=1, m_comp=1, socket=1),
+            )
+        )
+        streams = build_tenant_streams(HENRI.machine, HENRI.profile, ok)
+        assert len(streams) == n + 1
+
+    def test_stream_ids_are_namespaced(self):
+        scenario = TenantScenario(
+            (Tenant(name="web", n_cores=2, m_comp=0, m_comm=1,
+                    bidirectional=True),)
+        )
+        streams = build_tenant_streams(HENRI.machine, HENRI.profile, scenario)
+        assert sorted(s.stream_id for s in streams) == [
+            "web/core0", "web/core1", "web/nic", "web/nic-tx",
+        ]
+
+    def test_unknown_tenant_lookup_names_the_known_ones(self):
+        result = solve_tenant_scenario(
+            HENRI.machine, HENRI.profile,
+            TenantScenario((Tenant(name="a", m_comm=0),)),
+        )
+        with pytest.raises(SimulationError, match="'a'"):
+            result.tenant("nope")
+
+
+# ---- the acceptance-criterion regression ---------------------------------------
+
+
+@pytest.mark.parametrize("platform_name", platform_names())
+def test_single_tenant_is_bit_identical_to_solve_scenario(platform_name):
+    """One steady tenant == the paper's single-job solver, exactly.
+
+    Float-exact equality (no tolerance) over every archived platform,
+    every placement of its NUMA grid, and three core counts — the
+    tenant layer must be a pure superset, not a reimplementation that
+    drifts by an ulp.
+    """
+    spec = get_platform(platform_name)
+    machine, profile = spec.machine, spec.profile
+    n_max = machine.cores_per_socket
+    for m_comp, m_comm in machine.placements():
+        for n in (1, n_max // 2, n_max):
+            single = solve_scenario(
+                machine, profile, Scenario(n_cores=n, m_comp=m_comp,
+                                           m_comm=m_comm)
+            )
+            tenant = Tenant(name="job", n_cores=n, m_comp=m_comp,
+                            m_comm=m_comm)
+            multi = solve_tenant_scenario(
+                machine, profile, TenantScenario((tenant,))
+            )
+            bw = multi.tenant("job")
+            assert bw.comp_gbps == single.comp_total_gbps
+            assert bw.comp_dram_gbps == single.comp_total_gbps
+            assert bw.comm_gbps == single.comm_gbps
+            assert bw.comm_tx_gbps == single.comm_tx_gbps == 0.0
+            allocation = multi.phases[0].allocation
+            for i, rate in enumerate(single.comp_per_core_gbps):
+                assert allocation.rate(f"job/core{i}") == rate
+            assert allocation.rate("job/nic") == single.comm_gbps
+
+
+def test_single_bidirectional_tenant_matches_too():
+    single = solve_scenario(
+        HENRI.machine, HENRI.profile,
+        Scenario(n_cores=4, m_comp=0, m_comm=1, bidirectional=True),
+    )
+    multi = solve_tenant_scenario(
+        HENRI.machine, HENRI.profile,
+        TenantScenario(
+            (Tenant(name="job", n_cores=4, m_comp=0, m_comm=1,
+                    bidirectional=True),)
+        ),
+    )
+    bw = multi.tenant("job")
+    assert bw.comm_gbps == single.comm_gbps
+    assert bw.comm_tx_gbps == single.comm_tx_gbps > 0.0
+
+
+# ---- multi-tenant behaviour -----------------------------------------------------
+
+
+class TestMultiTenant:
+    def test_attacker_degrades_the_victims_bandwidth(self):
+        """The PR's end-to-end criterion: measurable comm degradation."""
+        machine, profile = HENRI.machine, HENRI.profile
+        baseline = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario((Tenant(name="victim", m_comm=0),)),
+        ).tenant("victim").comm_gbps
+        contended = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario(
+                (
+                    Tenant(name="attacker",
+                           n_cores=machine.cores_per_socket, m_comp=0),
+                    Tenant(name="victim", m_comm=0),
+                )
+            ),
+        ).tenant("victim").comm_gbps
+        assert contended < 0.7 * baseline
+        assert contended > 0.0
+
+    def test_comm_floor_is_split_among_communicating_tenants(self):
+        """Two NIC tenants cannot both claim the full hardware floor."""
+        machine, profile = HENRI.machine, HENRI.profile
+        n = machine.cores_per_socket
+        nominal = profile.nic_nominal_gbps(0, machine.nic.line_rate_gbps)
+        floor = profile.nic_min_fraction * nominal
+        result = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario(
+                (
+                    Tenant(name="hog", n_cores=n, m_comp=0),
+                    Tenant(name="a", m_comm=0),
+                    Tenant(name="b", m_comm=0),
+                )
+            ),
+        )
+        a = result.tenant("a").comm_gbps
+        b = result.tenant("b").comm_gbps
+        assert a == b  # symmetric tenants, symmetric split
+        assert a >= floor / 2 - 1e-9
+        assert a + b <= nominal + 1e-9
+
+    def test_bursty_tenant_averages_by_time(self):
+        """duty=0.5 alone on the machine ⇒ exactly half the steady rate."""
+        machine, profile = HENRI.machine, HENRI.profile
+        steady = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario((Tenant(name="job", m_comm=0),)),
+        ).tenant("job").comm_gbps
+        bursty = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario(
+                (
+                    Tenant(
+                        name="job", m_comm=0,
+                        envelope=LoadEnvelope.bursty(
+                            period_s=1.0, duty=0.5, cycles=2
+                        ),
+                    ),
+                )
+            ),
+        )
+        assert bursty.tenant("job").comm_gbps == pytest.approx(0.5 * steady)
+        # Off phases contribute zero-rate segments, not missing ones.
+        assert bursty.horizon_s == pytest.approx(2.0)
+        assert len(bursty.phases) == 4
+
+    def test_segments_cut_at_the_union_of_phase_boundaries(self):
+        machine, profile = HENRI.machine, HENRI.profile
+        scenario = TenantScenario(
+            (
+                Tenant(name="a", m_comm=0,
+                       envelope=LoadEnvelope.steady(1.0, duration_s=2.0)),
+                Tenant(
+                    name="b", m_comm=1,
+                    envelope=LoadEnvelope(
+                        (LoadPhase(0.5, 1.0), LoadPhase(0.5, 0.25))
+                    ),
+                ),
+            )
+        )
+        result = solve_tenant_scenario(machine, profile, scenario)
+        cuts = [(p.start_s, p.end_s) for p in result.phases]
+        assert cuts == [(0.0, 0.5), (0.5, 1.0), (1.0, 2.0)]
+        # B's envelope ends at 1s: it holds its last level (0.25) after.
+        assert result.phases[2].levels["b"] == 0.25
+
+    def test_diurnal_average_sits_between_trough_and_peak(self):
+        machine, profile = HENRI.machine, HENRI.profile
+        lo, hi = 0.2, 1.0
+        steady = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario((Tenant(name="job", m_comm=0),)),
+        ).tenant("job").comm_gbps
+        diurnal = solve_tenant_scenario(
+            machine, profile,
+            TenantScenario(
+                (
+                    Tenant(
+                        name="job", m_comm=0,
+                        envelope=LoadEnvelope.diurnal(low=lo, high=hi),
+                    ),
+                )
+            ),
+        ).tenant("job").comm_gbps
+        assert lo * steady < diurnal < hi * steady

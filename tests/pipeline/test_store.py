@@ -80,6 +80,50 @@ class TestSaveValidation:
             ArtifactStore(target)
 
 
+class TestPublishFailures:
+    """Only a *lost race* is a duplicate; every other rename failure
+    must propagate — a swallowed ENOSPC would silently drop the entry
+    and look exactly like a recompute forever after."""
+
+    def test_rename_oserror_without_a_winner_propagates(
+        self, store, monkeypatch
+    ):
+        from pathlib import Path
+
+        def refuse(self, target):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(Path, "rename", refuse)
+        key = make_key()
+        with pytest.raises(OSError, match="No space left"):
+            store.save(key, PAYLOADS)
+        assert store.stats.stores == 0
+        assert store.stats.duplicates == 0
+        # The failed save left no temp residue and no entry behind.
+        monkeypatch.undo()
+        assert store.load(key) is None
+        tmp = store.root / ".tmp"
+        assert not tmp.exists() or not any(tmp.iterdir())
+
+    def test_rename_oserror_with_a_winner_is_a_duplicate(
+        self, store, monkeypatch
+    ):
+        from pathlib import Path
+
+        key = make_key()
+        store.save(key, PAYLOADS)  # a concurrent writer already won
+
+        def lose_the_race(self, target):
+            raise OSError(39, "Directory not empty")
+
+        monkeypatch.setattr(Path, "rename", lose_the_race)
+        store.save(key, PAYLOADS)
+        assert store.stats.stores == 1
+        assert store.stats.duplicates == 1
+        monkeypatch.undo()
+        assert store.load(key) == PAYLOADS
+
+
 def _entry_dir(store, key):
     return store.root / key.platform / key.entry_name
 

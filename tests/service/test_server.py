@@ -68,6 +68,41 @@ class TestRoundTrip:
         assert len(recs) == 3
         assert recs[0]["makespan_s"] <= recs[-1]["makespan_s"]
 
+    def test_advise_victim_matches_library(self, server):
+        """Victim mode runs on the simulator: no calibration required."""
+        from repro.advisor import advise_victim_placement
+        from repro.topology import get_platform
+
+        result = server.client().advise(PLATFORM, victim=True, top=2)
+        assert result["victim"] is True
+        placements = result["placements"]
+        assert len(placements) == 2
+        assert (
+            placements[0]["degradation"] <= placements[1]["degradation"]
+        )
+        spec = get_platform(PLATFORM)
+        expected = advise_victim_placement(spec.machine, spec.profile, top=2)
+        assert placements[0]["m_comm"] == expected[0].m_comm
+        assert placements[0]["worst_gbps"] == expected[0].worst_gbps
+        assert placements[0]["worst_stressor"] == expected[0].worst_stressor
+        # And no calibration was paid for it.
+        assert server.client().healthz()["models_cached"] == 0
+
+    def test_advise_victim_rejects_workload_fields(self, server):
+        client = server.client()
+        with pytest.raises(ServiceResponseError) as excinfo:
+            client._request(
+                "POST",
+                "/advise",
+                {"platform": PLATFORM, "victim": True, "comp_bytes": 1.0},
+            )
+        assert excinfo.value.status == 400
+        assert "comp_bytes" in excinfo.value.remote_message
+
+    def test_advise_without_bytes_fails_before_the_wire(self, server):
+        with pytest.raises(ServiceError, match="comp_bytes"):
+            server.client().advise(PLATFORM)
+
     def test_error_envelope(self, server):
         client = server.client()
         with pytest.raises(ServiceResponseError) as excinfo:
@@ -262,6 +297,19 @@ class TestOperational:
              "--comm-bytes", "1e8", "--top", "2"] + remote
         ) == 0
         assert "Top 2 configurations" in capsys.readouterr().out
+
+        assert main(
+            ["query", "advise", PLATFORM, "--victim", "--top", "1"] + remote
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"Victim placements for {PLATFORM}" in out
+        assert "worst case" in out
+
+        assert main(
+            ["query", "advise", PLATFORM, "--victim", "--comp-bytes", "1"]
+            + remote
+        ) == 11  # rejected client-side as a ServiceError
+        assert "do not apply" in capsys.readouterr().err
 
         assert main(["query", "metrics"] + remote) == 0
         assert '"registry"' in capsys.readouterr().out
